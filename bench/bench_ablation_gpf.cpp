@@ -1,0 +1,86 @@
+// Ablation of GPF's three headline design choices (DESIGN.md "key design
+// decisions"): Process-level DAG fusion, dynamic repartition, and genomic
+// compression — each toggled independently on the same workload.
+//
+// Not a paper artifact per se; it decomposes where Fig 10 / Table 4's
+// wins come from.
+#include "bench_common.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/trace.hpp"
+
+using namespace gpf;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool fusion;
+  bool repartition;
+  Codec codec;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — fusion / dynamic repartition / codec",
+                "decomposition of Table 4 and Fig 10 effects");
+  auto preset = bench::WorkloadPreset::wgs();
+  preset.coverage = 8.0;
+  auto workload = bench::build_workload(preset);
+  const double scale = bench::platinum_scale(workload);
+
+  const Variant variants[] = {
+      {"full GPF", true, true, Codec::kGpf},
+      {"no fusion", false, true, Codec::kGpf},
+      {"no dyn repart", true, false, Codec::kGpf},
+      {"kryo codec", true, true, Codec::kKryoLike},
+      {"java codec", true, true, Codec::kJavaLike},
+      {"none of them", false, false, Codec::kKryoLike},
+  };
+
+  std::printf("%-16s %8s %10s %12s %12s %12s %10s\n", "variant", "stages",
+              "shuffleGB", "t@256cores", "t@2048cores", "t@cong.net",
+              "partitions");
+  double reference_256 = 0.0;
+  // "Congested" cluster: the poor-network regime the paper's compression
+  // section targets (Sec 4.2) — slow spindles, oversubscribed fabric.
+  auto congested = sim::ClusterConfig::with_cores(256);
+  congested.disk_bw_per_node = 120e6;
+  congested.net_bw_per_node = 250e6;
+  for (const auto& v : variants) {
+    engine::Engine engine;
+    core::PipelineConfig config;
+    config.partition_length = 10'000;
+    config.split_threshold = 1'000;
+    config.eliminate_redundancy = v.fusion;
+    config.dynamic_repartition = v.repartition;
+    config.codec = v.codec;
+    const auto result =
+        core::run_wgs_pipeline(engine, workload.reference,
+                               workload.sample.pairs, workload.truth, config);
+
+    sim::TraceOptions options;
+    options.bytes_scale = scale;
+    sim::SimJob job = sim::trace_job(engine.metrics(), options);
+    job = sim::replicate_tasks(job, 256);
+    job = sim::scale_job(job, scale / 256.0, 1.0 / 256.0);
+    const double t256 =
+        sim::simulate(job, sim::ClusterConfig::with_cores(256)).makespan;
+    const double t2048 =
+        sim::simulate(job, sim::ClusterConfig::with_cores(2048)).makespan;
+    const double tcong = sim::simulate(job, congested).makespan;
+    if (reference_256 == 0.0) reference_256 = t256;
+    std::printf("%-16s %8zu %9.1fG %11.0fs %11.0fs %11.0fs %10zu\n", v.name,
+                engine.metrics().stage_count(),
+                static_cast<double>(engine.metrics().total_shuffle_bytes()) *
+                    scale / 1e9,
+                t256, t2048, tcong, result.final_partitions);
+  }
+  std::printf("\nexpected: fusion cuts stages and shuffle volume; "
+              "dynamic repartition matters most at 2048 cores; the "
+              "genomic codec trades CPU for shuffle volume, so it wins "
+              "on the congested-network cluster (the regime paper Sec "
+              "4.2 targets) while generic codecs can win when bandwidth "
+              "is free.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "bench_common.hpp"
+
+namespace gpf::bench {
+
+WorkloadPreset WorkloadPreset::wgs() {
+  WorkloadPreset p;
+  p.genome_length = 150'000;
+  p.contigs = 3;
+  p.coverage = 12.0;
+  p.hotspot_fraction = 0.02;
+  p.hotspot_multiplier = 20.0;
+  p.seed = 101;
+  return p;
+}
+
+WorkloadPreset WorkloadPreset::wes() {
+  // Exome: ~10% of the genome under capture targets at elevated depth.
+  WorkloadPreset p;
+  p.genome_length = 100'000;
+  p.contigs = 2;
+  p.coverage = 18.0;
+  p.target_fraction = 0.10;
+  p.seed = 103;
+  return p;
+}
+
+WorkloadPreset WorkloadPreset::gene_panel() {
+  // Panel: a handful of small targets at very high depth.
+  WorkloadPreset p;
+  p.genome_length = 40'000;
+  p.contigs = 1;
+  p.coverage = 40.0;
+  p.target_fraction = 0.04;
+  p.seed = 107;
+  return p;
+}
+
+simdata::Workload build_workload(const WorkloadPreset& preset) {
+  simdata::ReadSimSpec spec;
+  spec.coverage = preset.coverage;
+  spec.duplicate_fraction = preset.duplicate_fraction;
+  spec.hotspot_fraction = preset.hotspot_fraction;
+  spec.hotspot_multiplier = preset.hotspot_multiplier;
+  spec.seed = preset.seed;
+  if (preset.target_fraction > 0.0) {
+    // Deterministic capture targets: 2kb exons spread evenly until the
+    // requested fraction of the genome is covered.
+    const auto target_bases = static_cast<std::int64_t>(
+        preset.target_fraction *
+        static_cast<double>(preset.genome_length));
+    const std::int64_t exon = 2'000;
+    const auto n_exons = std::max<std::int64_t>(1, target_bases / exon);
+    const std::int64_t stride = preset.genome_length / (n_exons + 1);
+    for (std::int64_t e = 0; e < n_exons; ++e) {
+      // Targets live on contig 0 for simplicity; contig 0 holds the
+      // largest share of the genome.
+      spec.targets.push_back({0, (e + 1) * stride % (preset.genome_length / 2),
+                              (e + 1) * stride % (preset.genome_length / 2) +
+                                  exon,
+                              "exon" + std::to_string(e)});
+    }
+  }
+  return simdata::make_workload(preset.genome_length, preset.contigs, spec);
+}
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s (Li et al., PPoPP'18)\n\n", paper_ref.c_str());
+}
+
+double platinum_scale(const simdata::Workload& workload) {
+  double bases = 0.0;
+  for (const auto& p : workload.sample.pairs) {
+    bases += static_cast<double>(p.first.sequence.size() +
+                                 p.second.sequence.size());
+  }
+  return 146.9e9 / bases;
+}
+
+}  // namespace gpf::bench

@@ -1,0 +1,49 @@
+// Shared scaffolding for the experiment benches: standard workload
+// construction and table printing.  Each bench binary reproduces one table
+// or figure of the paper and prints the same rows/series the paper
+// reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/timer.hpp"
+#include "core/wgs_pipeline.hpp"
+#include "simdata/read_sim.hpp"
+
+namespace gpf::bench {
+
+/// Standard synthetic sample presets.  Sizes are chosen so a single-core
+/// run of each bench completes in tens of seconds; the cluster simulator
+/// handles scaling the measured trace to the paper's dataset and core
+/// counts.
+struct WorkloadPreset {
+  std::int64_t genome_length = 150'000;
+  int contigs = 3;
+  double coverage = 12.0;
+  double duplicate_fraction = 0.05;
+  double hotspot_fraction = 0.0;
+  double hotspot_multiplier = 1.0;
+  /// Fraction of the genome under capture targets (0 = WGS).
+  double target_fraction = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Whole-genome sample with realistic coverage skew.
+  static WorkloadPreset wgs();
+  /// Exome-like: smaller genome, strong targeting skew.
+  static WorkloadPreset wes();
+  /// Gene-panel-like: tiny targeted region at very high depth.
+  static WorkloadPreset gene_panel();
+};
+
+simdata::Workload build_workload(const WorkloadPreset& preset);
+
+/// Prints a bench banner naming the paper artifact being reproduced.
+void banner(const std::string& title, const std::string& paper_ref);
+
+/// Scale factor from the bench's synthetic sample to the paper's
+/// platinum-genome dataset (146.9 Gbases), used when replaying traces so
+/// reported wall-clock times land in the paper's regime.
+double platinum_scale(const simdata::Workload& workload);
+
+}  // namespace gpf::bench

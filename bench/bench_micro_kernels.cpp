@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels behind the
+// pipeline stages: FM-index search, Smith-Waterman extension, pair-HMM,
+// the genomic codecs, and duplicate marking.
+#include <benchmark/benchmark.h>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "align/smith_waterman.hpp"
+#include "caller/pairhmm.hpp"
+#include "cleaner/markdup.hpp"
+#include "common/rng.hpp"
+#include "compress/record_codec.hpp"
+#include "simdata/read_sim.hpp"
+#include "simdata/reference_gen.hpp"
+
+using namespace gpf;
+
+namespace {
+
+const Reference& bench_reference() {
+  static Reference ref = simdata::generate_reference(
+      simdata::ReferenceSpec::genome(200'000, 2, 777));
+  return ref;
+}
+
+const align::FmIndex& bench_index() {
+  static align::FmIndex index(bench_reference());
+  return index;
+}
+
+std::vector<FastqRecord> bench_reads(std::size_t n) {
+  const auto& ref = bench_reference();
+  Rng rng(778);
+  std::vector<FastqRecord> reads;
+  while (reads.size() < n) {
+    const auto cid = static_cast<std::int32_t>(rng.below(2));
+    const auto& seq = ref.contig(cid).sequence;
+    const std::size_t pos = rng.below(seq.size() - 120);
+    std::string s = seq.substr(pos, 100);
+    if (s.find('N') != std::string::npos) continue;
+    reads.push_back({"r" + std::to_string(reads.size()), std::move(s),
+                     std::string(100, 'I')});
+  }
+  return reads;
+}
+
+void BM_FmIndexSearch(benchmark::State& state) {
+  const auto& index = bench_index();
+  const auto reads = bench_reads(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = reads[i++ % reads.size()];
+    benchmark::DoNotOptimize(
+        index.search(std::string_view(r.sequence).substr(0, 19)));
+  }
+}
+BENCHMARK(BM_FmIndexSearch);
+
+void BM_BandedGlobal(benchmark::State& state) {
+  const auto& ref = bench_reference();
+  const std::string query(ref.slice(0, 1000, 100));
+  const std::string target(ref.slice(0, 995, 110));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::banded_global(query, target, {}, 16));
+  }
+}
+BENCHMARK(BM_BandedGlobal);
+
+void BM_GlocalExtension(benchmark::State& state) {
+  const auto& ref = bench_reference();
+  const std::string query(ref.slice(0, 2000, 100));
+  const std::string target(ref.slice(0, 1976, 148));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::glocal(query, target, {}, 16));
+  }
+}
+BENCHMARK(BM_GlocalExtension);
+
+void BM_AlignPairedRead(benchmark::State& state) {
+  const align::ReadAligner aligner(bench_index());
+  const auto& ref = bench_reference();
+  const std::string frag(ref.slice(0, 40'000, 350));
+  FastqPair pair;
+  pair.first = {"p/1", frag.substr(0, 100), std::string(100, 'I')};
+  pair.second = {"p/2", simdata::reverse_complement(frag.substr(250, 100)),
+                 std::string(100, 'I')};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.align_pair(pair));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_AlignPairedRead);
+
+void BM_PairHmm(benchmark::State& state) {
+  const auto& ref = bench_reference();
+  const std::string hap(ref.slice(0, 5000, 300));
+  const std::string read(ref.slice(0, 5050, 100));
+  const std::string qual(100, 'I');
+  caller::PairHmm hmm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.log10_likelihood(read, qual, hap));
+  }
+}
+BENCHMARK(BM_PairHmm);
+
+void BM_EncodeFastq(benchmark::State& state) {
+  const auto codec = static_cast<Codec>(state.range(0));
+  const auto reads = bench_reads(512);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto out = encode_fastq_batch(reads, codec);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes));
+  state.SetLabel(codec_name(codec));
+}
+BENCHMARK(BM_EncodeFastq)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DecodeFastq(benchmark::State& state) {
+  const auto codec = static_cast<Codec>(state.range(0));
+  const auto bytes = encode_fastq_batch(bench_reads(512), codec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_fastq_batch(bytes, codec));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+  state.SetLabel(codec_name(codec));
+}
+BENCHMARK(BM_DecodeFastq)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MarkDuplicates(benchmark::State& state) {
+  const auto reads = bench_reads(1024);
+  Rng rng(779);
+  std::vector<SamRecord> records;
+  for (const auto& r : reads) {
+    SamRecord rec;
+    rec.qname = r.name;
+    rec.contig_id = 0;
+    rec.pos = static_cast<std::int64_t>(rng.below(10'000));  // many dups
+    rec.cigar = {{CigarOp::kMatch, 100}};
+    rec.sequence = r.sequence;
+    rec.quality = r.quality;
+    records.push_back(std::move(rec));
+  }
+  for (auto _ : state) {
+    std::vector<SamRecord> work = records;
+    benchmark::DoNotOptimize(cleaner::mark_duplicates(work));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * records.size()));
+}
+BENCHMARK(BM_MarkDuplicates);
+
+}  // namespace

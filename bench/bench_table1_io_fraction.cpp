@@ -1,0 +1,71 @@
+// Table 1: I/O vs CPU time fractions of a disk-file WGS pipeline while
+// scaling from 1 to 30 concurrent samples on Lustre and NFS.
+//
+// Paper's measurement:
+//   1 sample  /  96 cores, Lustre: 29% I/O   NFS: 25% I/O
+//   30 samples / 480 cores, Lustre: 60% I/O   NFS: 74% I/O
+//
+// Method here: run the Churchill-style (file-based) pipeline on a small
+// synthetic sample to measure its per-stage CPU and file-byte profile,
+// scale that profile to the paper's 100GB-class inputs, and evaluate the
+// shared-filesystem contention model for 1 and 30 concurrent samples.
+#include "baselines/churchill.hpp"
+#include "bench_common.hpp"
+#include "simcluster/sharedfs.hpp"
+
+using namespace gpf;
+
+int main() {
+  bench::banner("Table 1 — I/O fraction vs concurrent samples",
+                "Table 1 (Sec 1)");
+
+  // Measure the real pipeline profile on a small sample.
+  auto workload = bench::build_workload(bench::WorkloadPreset::wgs());
+  engine::Engine engine;
+  baselines::ChurchillConfig config;
+  config.subregions = 16;
+  std::printf("profiling file-based pipeline on %zu pairs...\n",
+              workload.sample.pairs.size());
+  baselines::run_churchill_pipeline(engine, workload.reference,
+                                    workload.sample.pairs, workload.truth,
+                                    config);
+
+  const double scale = bench::platinum_scale(workload);
+  const auto steps =
+      baselines::churchill_file_steps(engine.metrics(), scale);
+  double cpu = 0.0, bytes = 0.0;
+  for (const auto& s : steps) {
+    cpu += s.cpu_core_seconds;
+    bytes += static_cast<double>(s.read_bytes + s.write_bytes);
+  }
+  std::printf("scaled profile: %.0f CPU core-hours, %s of stage-file "
+              "traffic per sample\n\n",
+              cpu / 3600.0, format_bytes(static_cast<std::uint64_t>(bytes))
+                                .c_str());
+
+  std::printf("%-32s %-10s %-10s\n", "configuration", "I/O %", "CPU %");
+  struct Row {
+    std::size_t samples;
+    std::size_t cores_per_sample;
+    sim::SharedFsConfig fs;
+  };
+  const Row rows[] = {
+      {1, 96, sim::SharedFsConfig::lustre()},
+      {1, 96, sim::SharedFsConfig::nfs()},
+      {30, 16, sim::SharedFsConfig::lustre()},
+      {30, 16, sim::SharedFsConfig::nfs()},
+  };
+  for (const auto& row : rows) {
+    const auto result = sim::run_file_pipeline(
+        steps, row.samples, row.cores_per_sample, row.fs);
+    char label[64];
+    std::snprintf(label, sizeof label, "%zu sample%s %zu cores %s",
+                  row.samples, row.samples > 1 ? "s" : " ",
+                  row.samples * row.cores_per_sample, row.fs.name.c_str());
+    std::printf("%-32s %-10.0f %-10.0f\n", label,
+                100.0 * result.io_fraction(), 100.0 * result.cpu_fraction());
+  }
+  std::printf("\npaper:   1x96 Lustre 29/71, 1x96 NFS 25/75, "
+              "30x480 Lustre 60/40, 30x480 NFS 74/26\n");
+  return 0;
+}

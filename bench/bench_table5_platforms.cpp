@@ -1,0 +1,132 @@
+// Table 5: comparison of genome-analysis platforms — pipeline coverage,
+// in-memory computing, maximum evaluated core count, and parallel
+// efficiency at that count.
+//
+// Paper's table:
+//   GPF          full      in-memory  2048  >50%
+//   Churchill    full      no          768   28%
+//   HugeSeq      full      no           48  ~50%
+//   GATK-Queue   full      no           48  ~50%
+//   ADAM         Cleaner   in-memory  1024  14.8%
+//   GATK4        Cln&Call  in-memory  1024  41.6%
+//   Persona-BWA  Aln&Cln   no          512  51.1%
+//
+// We measure GPF / Churchill / ADAM-like / GATK4-like / Persona-like from
+// their traces; HugeSeq and GATK-Queue rows reuse the paper's cited
+// numbers (their systems are scatter-gather schedulers whose 48-core
+// plateau Churchill's own evaluation established).
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "baselines/adamlike.hpp"
+#include "baselines/churchill.hpp"
+#include "baselines/personalike.hpp"
+#include "bench_common.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/trace.hpp"
+
+using namespace gpf;
+
+namespace {
+
+sim::SimJob scaled(const engine::EngineMetrics& metrics, double scale,
+                   std::size_t replication) {
+  sim::TraceOptions options;
+  options.bytes_scale = scale;
+  sim::SimJob job = sim::trace_job(metrics, options);
+  job = sim::replicate_tasks(job, replication);
+  return sim::scale_job(job, scale / static_cast<double>(replication),
+                        1.0 / static_cast<double>(replication));
+}
+
+double efficiency(const sim::SimJob& job, std::size_t cores,
+                  std::size_t base_cores = 128) {
+  const double base =
+      sim::simulate(job, sim::ClusterConfig::with_cores(base_cores)).makespan;
+  const double at =
+      sim::simulate(job, sim::ClusterConfig::with_cores(cores)).makespan;
+  return base * static_cast<double>(base_cores) /
+         (at * static_cast<double>(cores));
+}
+
+void print_row(const char* platform, const char* coverage,
+               const char* in_memory, std::size_t cores, double eff) {
+  std::printf("%-14s %-16s %-10s %6zu %12.1f%%\n", platform, coverage,
+              in_memory, cores, 100.0 * eff);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 5 — platform comparison (parallel efficiency)",
+                "Table 5 (Sec 6)");
+  auto preset = bench::WorkloadPreset::wgs();
+  preset.coverage = 8.0;
+  auto workload = bench::build_workload(preset);
+  const double scale = bench::platinum_scale(workload);
+
+  std::printf("measuring GPF...\n");
+  engine::Engine gpf_engine;
+  core::PipelineConfig config;
+  config.partition_length = 5'000;
+  config.split_threshold = 500;
+  core::run_wgs_pipeline(gpf_engine, workload.reference,
+                         workload.sample.pairs, workload.truth, config);
+  const auto gpf_job = scaled(gpf_engine.metrics(), scale, 512);
+
+  std::printf("measuring Churchill...\n");
+  engine::Engine churchill_engine;
+  baselines::run_churchill_pipeline(churchill_engine, workload.reference,
+                                    workload.sample.pairs, workload.truth,
+                                    {.subregions = 48});
+  const auto churchill_job = scaled(churchill_engine.metrics(), scale, 24);
+
+  std::printf("measuring ADAM-like / GATK4-like cleaner stages...\n");
+  const align::FmIndex index(workload.reference);
+  const align::ReadAligner aligner(index);
+  std::vector<SamRecord> sam;
+  for (const auto& p : workload.sample.pairs) {
+    auto [r1, r2] = aligner.align_pair(p);
+    sam.push_back(std::move(r1));
+    sam.push_back(std::move(r2));
+  }
+  engine::Engine adam_engine;
+  baselines::baseline_mark_duplicates(adam_engine,
+                                      adam_engine.parallelize(sam, 4),
+                                      baselines::FrameworkProfile::adam());
+  baselines::baseline_bqsr(adam_engine, adam_engine.parallelize(sam, 4),
+                           workload.reference, workload.truth,
+                           baselines::FrameworkProfile::adam());
+  // ADAM's coarse, convert-heavy stages: few chunky tasks.
+  const auto adam_job = scaled(adam_engine.metrics(), scale, 48);
+
+  engine::Engine gatk_engine;
+  baselines::baseline_mark_duplicates(gatk_engine,
+                                      gatk_engine.parallelize(sam, 8),
+                                      baselines::FrameworkProfile::gatk4());
+  baselines::baseline_bqsr(gatk_engine, gatk_engine.parallelize(sam, 8),
+                           workload.reference, workload.truth,
+                           baselines::FrameworkProfile::gatk4());
+  const auto gatk_job = scaled(gatk_engine.metrics(), scale, 128);
+
+  std::printf("measuring Persona-like aligner+cleaner...\n\n");
+  engine::Engine persona_engine;
+  baselines::persona_align(persona_engine, workload.reference,
+                           workload.sample.pairs);
+  const auto persona_job = scaled(persona_engine.metrics(), scale, 96);
+
+  std::printf("%-14s %-16s %-10s %6s %13s\n", "Platform", "Pipeline",
+              "In-memory", "#Cores", "Efficiency");
+  print_row("GPF", "full", "yes", 2048, efficiency(gpf_job, 2048));
+  print_row("Churchill", "full", "no", 768, efficiency(churchill_job, 768));
+  print_row("HugeSeq", "full", "no", 48, 0.50);        // cited from paper
+  print_row("GATK-Queue", "full", "no", 48, 0.50);     // cited from paper
+  print_row("ADAM", "Cleaner", "yes", 1024, efficiency(adam_job, 1024));
+  print_row("GATK4", "Cleaner&Caller", "yes", 1024,
+            efficiency(gatk_job, 1024));
+  print_row("Persona-BWA", "Aligner&Cleaner", "no", 512,
+            efficiency(persona_job, 512));
+
+  std::printf("\npaper:  GPF >50%% @2048, Churchill 28%% @768, ADAM 14.8%% "
+              "@1024, GATK4 41.6%% @1024, Persona 51.1%% @512\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Cluster scaling exploration: run the GPF WGS pipeline locally, capture
+// its task trace, and replay it on virtual clusters of increasing size —
+// the workflow behind the paper's Fig 10.
+//
+//   ./cluster_scaling [genome_kb=150] [coverage=12]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/timer.hpp"
+#include "core/wgs_pipeline.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/trace.hpp"
+#include "simdata/read_sim.hpp"
+
+using namespace gpf;
+
+int main(int argc, char** argv) {
+  const std::int64_t genome_kb = argc > 1 ? std::atoll(argv[1]) : 150;
+  const double coverage = argc > 2 ? std::atof(argv[2]) : 12.0;
+
+  simdata::ReadSimSpec read_spec;
+  read_spec.coverage = coverage;
+  read_spec.hotspot_fraction = 0.02;
+  read_spec.hotspot_multiplier = 20.0;  // skewed coverage, like real WGS
+  read_spec.seed = 11;
+  const simdata::Workload w =
+      simdata::make_workload(genome_kb * 1000, 3, read_spec);
+
+  engine::Engine engine;
+  core::PipelineConfig config;
+  config.partition_length = 10'000;
+  config.split_threshold = 1'000;
+  std::printf("running WGS pipeline on %zu pairs...\n",
+              w.sample.pairs.size());
+  const auto result = core::run_wgs_pipeline(engine, w.reference,
+                                             w.sample.pairs, w.truth, config);
+  std::printf("local run: %zu variants, %zu engine stages\n\n",
+              result.variants.size(), engine.metrics().stage_count());
+
+  // Replicate the measured trace so there is enough task parallelism to
+  // exercise thousands of cores (preserves the per-task skew).
+  sim::SimJob job =
+      sim::replicate_tasks(sim::trace_job(engine.metrics()), 64);
+
+  std::printf("%-8s %-8s %12s %12s %10s\n", "cores", "nodes", "makespan",
+              "speedup", "efficiency");
+  double base = 0.0;
+  for (const std::size_t cores : {128, 256, 512, 1024, 2048}) {
+    const auto cluster = sim::ClusterConfig::with_cores(cores);
+    const auto r = sim::simulate(job, cluster);
+    if (base == 0.0) base = r.makespan * 128.0;
+    const double speedup = base / 128.0 / r.makespan;
+    const double efficiency = base / (r.makespan * cores);
+    std::printf("%-8zu %-8zu %12s %11.2fx %9.1f%%\n", cores, cluster.nodes,
+                format_duration(r.makespan).c_str(), speedup,
+                100.0 * efficiency);
+  }
+
+  std::printf("\nper-phase compute share:\n");
+  const auto r = sim::simulate(job, sim::ClusterConfig::with_cores(2048));
+  double total = 0.0;
+  for (const auto& s : r.stages) total += s.compute_seconds;
+  std::map<std::string, double> by_phase;
+  for (const auto& s : r.stages) by_phase[s.phase] += s.compute_seconds;
+  for (const auto& [phase, seconds] : by_phase) {
+    std::printf("  %-16s %6.1f%%\n", phase.c_str(), 100.0 * seconds / total);
+  }
+  return 0;
+}

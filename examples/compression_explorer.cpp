@@ -1,0 +1,96 @@
+// Compression explorer: shows what the GPF genomic codecs do to FASTQ and
+// SAM batches compared to generic serializers, and prints the
+// quality-score statistics that make the delta+Huffman coder work
+// (paper Sec 4.2 and Fig 5).
+//
+//   ./compression_explorer [reads=20000]
+#include <cstdio>
+#include <cstdlib>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "common/timer.hpp"
+#include "compress/record_codec.hpp"
+#include "simdata/quality_model.hpp"
+#include "simdata/read_sim.hpp"
+
+using namespace gpf;
+
+namespace {
+
+void report(const char* what, std::size_t live,
+            std::size_t java, std::size_t kryo, std::size_t gpf) {
+  std::printf("%-14s %10s %10s %10s %10s %8.2fx\n", what,
+              format_bytes(live).c_str(), format_bytes(java).c_str(),
+              format_bytes(kryo).c_str(), format_bytes(gpf).c_str(),
+              static_cast<double>(kryo) / static_cast<double>(gpf));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t reads = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20'000;
+
+  simdata::ReadSimSpec spec;
+  spec.coverage =
+      static_cast<double>(reads) * 200.0 / 150'000.0;  // pairs -> coverage
+  spec.seed = 5;
+  const simdata::Workload w = simdata::make_workload(150'000, 2, spec);
+
+  // FASTQ batch.
+  std::vector<FastqRecord> fastq;
+  for (const auto& p : w.sample.pairs) {
+    fastq.push_back(p.first);
+    fastq.push_back(p.second);
+  }
+  std::printf("%zu reads\n\n", fastq.size());
+  std::printf("%-14s %10s %10s %10s %10s %8s\n", "batch", "live", "java",
+              "kryo", "gpf", "kryo/gpf");
+  report("FASTQ", live_batch_size<FastqRecord>(fastq),
+         encode_fastq_batch(fastq, Codec::kJavaLike).size(),
+         encode_fastq_batch(fastq, Codec::kKryoLike).size(),
+         encode_fastq_batch(fastq, Codec::kGpf).size());
+
+  // SAM batch (aligned reads).
+  const align::FmIndex index(w.reference);
+  const align::ReadAligner aligner(index);
+  std::vector<SamRecord> sam;
+  for (std::size_t i = 0; i < w.sample.pairs.size(); ++i) {
+    auto [r1, r2] = aligner.align_pair(w.sample.pairs[i]);
+    sam.push_back(std::move(r1));
+    sam.push_back(std::move(r2));
+  }
+  report("SAM", live_batch_size<SamRecord>(sam),
+         encode_sam_batch(sam, Codec::kJavaLike).size(),
+         encode_sam_batch(sam, Codec::kKryoLike).size(),
+         encode_sam_batch(sam, Codec::kGpf).size());
+
+  // Codec speed.
+  std::printf("\ncodec speed (FASTQ batch):\n");
+  for (const Codec codec :
+       {Codec::kJavaLike, Codec::kKryoLike, Codec::kGpf}) {
+    Timer t;
+    const auto bytes = encode_fastq_batch(fastq, codec);
+    const double enc = t.seconds();
+    t.reset();
+    const auto decoded = decode_fastq_batch(bytes, codec);
+    const double dec = t.seconds();
+    std::printf("  %-6s encode %8.1f MB/s   decode %8.1f MB/s\n",
+                codec_name(codec),
+                static_cast<double>(bytes.size()) / 1e6 / enc,
+                static_cast<double>(bytes.size()) / 1e6 / dec);
+  }
+
+  // Quality-score statistics (the Fig 5 effect).
+  std::printf("\nquality-score statistics (SRR622461-like profile):\n");
+  const auto dist = simdata::collect_distributions(
+      simdata::QualityProfile::srr622461(), 2000, 100, 3);
+  std::printf("  mean score %.1f, p5 %lld, p95 %lld\n", dist.scores.mean(),
+              static_cast<long long>(dist.scores.percentile(0.05)),
+              static_cast<long long>(dist.scores.percentile(0.95)));
+  double within10 = 0.0;
+  for (int d = -10; d <= 10; ++d) within10 += dist.deltas.fraction(d);
+  std::printf("  adjacent deltas within [-10,10]: %.1f%% (delta=0: %.1f%%)\n",
+              100.0 * within10, 100.0 * dist.deltas.fraction(0));
+  return 0;
+}

@@ -1,0 +1,212 @@
+// gpf_tool: a command-line toolkit over the library — simulate data,
+// align reads, call variants, or run the whole GPF pipeline on real
+// files.  The file-facing twin of the in-memory examples.
+//
+//   gpf_tool simulate <out_prefix> [genome_kb=100] [coverage=15]
+//       writes <p>_ref.fa <p>_1.fastq <p>_2.fastq <p>_truth.vcf
+//   gpf_tool align <ref.fa> <r1.fastq> <r2.fastq> <out.gbam|out.sam>
+//   gpf_tool call <ref.fa> <in.gbam|in.sam> <out.vcf> [--gvcf]
+//   gpf_tool pipeline <ref.fa> <r1.fastq> <r2.fastq> <known.vcf> <out.vcf>
+//   gpf_tool view <in.gbam>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "caller/gvcf.hpp"
+#include "caller/haplotype_caller.hpp"
+#include "cleaner/markdup.hpp"
+#include "cleaner/sorter.hpp"
+#include "compress/gbam.hpp"
+#include "core/file_io.hpp"
+#include "core/wgs_pipeline.hpp"
+#include "simdata/read_sim.hpp"
+
+using namespace gpf;
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+VcfHeader vcf_header_for(const Reference& reference) {
+  VcfHeader header;
+  for (const auto& c : reference.contigs()) {
+    header.contigs.push_back(
+        {c.name, static_cast<std::int64_t>(c.sequence.size())});
+  }
+  return header;
+}
+
+SamHeader sam_header_for(const Reference& reference) {
+  SamHeader header;
+  for (const auto& c : reference.contigs()) {
+    header.contigs.push_back(
+        {c.name, static_cast<std::int64_t>(c.sequence.size())});
+  }
+  return header;
+}
+
+SamFile load_alignments(const std::string& path) {
+  return ends_with(path, ".gbam") ? load_gbam_file(path)
+                                  : core::load_sam_file(path);
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: gpf_tool simulate <prefix> [kb] [cov]\n");
+    return 2;
+  }
+  const std::string prefix = argv[0];
+  const std::int64_t kb = argc > 1 ? std::atoll(argv[1]) : 100;
+  const double coverage = argc > 2 ? std::atof(argv[2]) : 15.0;
+  simdata::ReadSimSpec spec;
+  spec.coverage = coverage;
+  spec.seed = 20260705;
+  const auto w = simdata::make_workload(kb * 1000, 2, spec);
+  core::save_fasta_file(prefix + "_ref.fa", w.reference);
+  core::save_fastq_pair_files(prefix + "_1.fastq", prefix + "_2.fastq",
+                              w.sample.pairs);
+  core::save_vcf_file(prefix + "_truth.vcf", vcf_header_for(w.reference),
+                      w.truth);
+  std::printf("wrote %s_ref.fa (%zu bases), %zu read pairs, %zu truth "
+              "variants\n",
+              prefix.c_str(),
+              static_cast<std::size_t>(w.reference.total_length()),
+              w.sample.pairs.size(), w.truth.size());
+  return 0;
+}
+
+int cmd_align(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: gpf_tool align <ref.fa> <r1> <r2> <out.gbam>\n");
+    return 2;
+  }
+  const Reference reference = core::load_fasta_file(argv[0]);
+  const auto pairs = core::load_fastq_pair_files(argv[1], argv[2]);
+  std::printf("aligning %zu pairs against %zu contigs...\n", pairs.size(),
+              reference.contig_count());
+  const align::FmIndex index(reference);
+  const align::ReadAligner aligner(index);
+  std::vector<SamRecord> records;
+  records.reserve(pairs.size() * 2);
+  for (const auto& p : pairs) {
+    auto [r1, r2] = aligner.align_pair(p);
+    records.push_back(std::move(r1));
+    records.push_back(std::move(r2));
+  }
+  cleaner::coordinate_sort(records);
+  SamHeader header = sam_header_for(reference);
+  header.coordinate_sorted = true;
+  const std::string out = argv[3];
+  if (ends_with(out, ".gbam")) {
+    save_gbam_file(out, header, records);
+  } else {
+    core::save_sam_file(out, header, records);
+  }
+  std::size_t mapped = 0;
+  for (const auto& r : records) {
+    if (!r.is_unmapped()) ++mapped;
+  }
+  std::printf("wrote %s: %zu records, %.1f%% mapped\n", out.c_str(),
+              records.size(),
+              100.0 * static_cast<double>(mapped) /
+                  static_cast<double>(records.size()));
+  return 0;
+}
+
+int cmd_call(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: gpf_tool call <ref.fa> <in.gbam> <out.vcf> "
+                 "[--gvcf]\n");
+    return 2;
+  }
+  const bool gvcf = argc > 3 && std::strcmp(argv[3], "--gvcf") == 0;
+  const Reference reference = core::load_fasta_file(argv[0]);
+  SamFile input = load_alignments(argv[1]);
+  cleaner::coordinate_sort(input.records);
+  const auto dup_stats = cleaner::mark_duplicates(input.records);
+  caller::CallStats stats;
+  const auto variants =
+      caller::call_variants(input.records, reference, {}, &stats);
+  std::printf("%zu records (%zu duplicates), %zu active regions, "
+              "%zu variants\n",
+              input.records.size(), dup_stats.duplicates_marked,
+              stats.regions, variants.size());
+  VcfHeader header = vcf_header_for(reference);
+  if (gvcf) {
+    const auto blocks =
+        caller::reference_blocks(input.records, variants, reference);
+    core::write_file(argv[2],
+                     caller::write_gvcf(header, variants, blocks, reference));
+    std::printf("wrote gVCF %s (%zu variant rows, %zu ref blocks)\n",
+                argv[2], variants.size(), blocks.size());
+  } else {
+    core::save_vcf_file(argv[2], header, variants);
+    std::printf("wrote VCF %s\n", argv[2]);
+  }
+  return 0;
+}
+
+int cmd_pipeline(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: gpf_tool pipeline <ref.fa> <r1> <r2> <known.vcf> "
+                 "<out.vcf>\n");
+    return 2;
+  }
+  const Reference reference = core::load_fasta_file(argv[0]);
+  auto pairs = core::load_fastq_pair_files(argv[1], argv[2]);
+  auto known = core::load_vcf_file(argv[3]);
+  engine::Engine engine;
+  core::PipelineConfig config;
+  config.partition_length =
+      std::max<std::int64_t>(10'000, static_cast<std::int64_t>(
+                                         reference.total_length() / 16));
+  const auto result = core::run_wgs_pipeline(
+      engine, reference, std::move(pairs), std::move(known.records), config);
+  core::save_vcf_file(argv[4], vcf_header_for(reference), result.variants);
+  std::printf("pipeline done: %zu variants -> %s (%zu duplicates marked, "
+              "%zu engine stages)\n",
+              result.variants.size(), argv[4],
+              result.markdup_stats.duplicates_marked,
+              engine.metrics().stage_count());
+  return 0;
+}
+
+int cmd_view(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: gpf_tool view <in.gbam>\n");
+    return 2;
+  }
+  const SamFile file = load_alignments(argv[0]);
+  std::fputs(write_sam(file.header, file.records).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "gpf_tool — GPF genomic toolkit\n"
+                 "commands: simulate align call pipeline view\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "simulate") return cmd_simulate(argc, argv);
+  if (cmd == "align") return cmd_align(argc, argv);
+  if (cmd == "call") return cmd_call(argc, argv);
+  if (cmd == "pipeline") return cmd_pipeline(argc, argv);
+  if (cmd == "view") return cmd_view(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,114 @@
+#include "align/fm_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "align/suffix_array.hpp"
+
+namespace gpf::align {
+namespace {
+
+std::uint8_t base_to_code(char base) {
+  switch (base) {
+    case 'A':
+      return 1;
+    case 'C':
+      return 2;
+    case 'G':
+      return 3;
+    case 'T':
+      return 4;
+    default:
+      return 1;  // N indexed as A; see header comment
+  }
+}
+
+}  // namespace
+
+FmIndex::FmIndex(const Reference& reference) : reference_(&reference) {
+  // Concatenate contigs with a 0 separator after each (the final one doubles
+  // as terminator).
+  std::vector<std::uint8_t> text;
+  text.reserve(reference.total_length() + reference.contig_count());
+  contig_starts_.reserve(reference.contig_count());
+  for (std::size_t cid = 0; cid < reference.contig_count(); ++cid) {
+    contig_starts_.push_back(text.size());
+    for (const char b :
+         reference.contig(static_cast<std::int32_t>(cid)).sequence) {
+      text.push_back(base_to_code(b));
+    }
+    text.push_back(0);
+  }
+  if (text.empty()) throw std::invalid_argument("FmIndex: empty reference");
+
+  sa_ = build_suffix_array(text);
+  bwt_ = bwt_from_suffix_array(text, sa_);
+
+  // C array.
+  std::uint32_t counts[kAlphabet] = {};
+  for (const std::uint8_t c : text) ++counts[c];
+  c_[0] = 0;
+  for (int c = 0; c < kAlphabet; ++c) c_[c + 1] = c_[c] + counts[c];
+
+  // Occurrence checkpoints.
+  const std::size_t blocks = bwt_.size() / kOccSample + 1;
+  occ_checkpoints_.assign(blocks * kAlphabet, 0);
+  std::uint32_t running[kAlphabet] = {};
+  for (std::size_t i = 0; i < bwt_.size(); ++i) {
+    if (i % kOccSample == 0) {
+      for (int c = 0; c < kAlphabet; ++c) {
+        occ_checkpoints_[(i / kOccSample) * kAlphabet + c] = running[c];
+      }
+    }
+    ++running[bwt_[i]];
+  }
+}
+
+std::uint8_t FmIndex::rank_code(char base) const { return base_to_code(base); }
+
+std::uint32_t FmIndex::occ(std::uint8_t code, std::uint32_t i) const {
+  const std::uint32_t block = i / kOccSample;
+  std::uint32_t count = occ_checkpoints_[block * kAlphabet + code];
+  for (std::uint32_t j = block * kOccSample; j < i; ++j) {
+    if (bwt_[j] == code) ++count;
+  }
+  return count;
+}
+
+SaInterval FmIndex::extend(const SaInterval& interval, char base) const {
+  if (base != 'A' && base != 'C' && base != 'G' && base != 'T') {
+    return {0, 0};  // N never matches
+  }
+  const std::uint8_t c = rank_code(base);
+  return {c_[c] + occ(c, interval.lo), c_[c] + occ(c, interval.hi)};
+}
+
+SaInterval FmIndex::search(std::string_view pattern) const {
+  SaInterval iv = whole();
+  for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+    iv = extend(iv, *it);
+    if (iv.empty()) return {0, 0};
+  }
+  return iv;
+}
+
+RefPosition FmIndex::locate(std::uint32_t row) const {
+  const std::uint64_t text_pos = sa_.at(row);
+
+  // Map into contig coordinates.
+  auto it = std::upper_bound(contig_starts_.begin(), contig_starts_.end(),
+                             text_pos);
+  const auto cid = static_cast<std::int32_t>(
+      std::distance(contig_starts_.begin(), it) - 1);
+  RefPosition pos;
+  pos.contig_id = cid;
+  pos.offset =
+      static_cast<std::int64_t>(text_pos - contig_starts_[cid]);
+  // Positions landing on a separator belong to no contig.
+  const auto len = static_cast<std::int64_t>(
+      reference_->contig(cid).sequence.size());
+  if (pos.offset >= len) return {};  // separator row
+  return pos;
+}
+
+}  // namespace gpf::align

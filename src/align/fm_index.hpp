@@ -1,0 +1,85 @@
+// FM-index over a concatenated multi-contig reference: BWT, occurrence
+// checkpoints and a sampled suffix array.  This is the paper's "BWT
+// algorithm [15] to index genome sequences" substrate for the Aligner
+// stage (bwa-style backward search).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/fasta.hpp"
+
+namespace gpf::align {
+
+/// Half-open range of BWT rows matching a query (SA interval).
+struct SaInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;  // exclusive
+  std::uint32_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+
+/// A reference position resolved from an SA row.
+struct RefPosition {
+  std::int32_t contig_id = -1;
+  std::int64_t offset = -1;
+};
+
+/// FM-index with rank checkpoints every 64 rows.  Alphabet: $=0, A=1, C=2,
+/// G=3, T=4 (N in the reference is mapped to 'A' for indexing; gaps rarely
+/// attract seeds because reads never contain long A-runs from gaps).
+///
+/// The suffix array is kept whole rather than sampled: at the multi-
+/// megabase scale of the synthetic genomes, a sampled SA with row markers
+/// costs the same 4 bytes/position as the full array, so sampling would
+/// add LF-walk latency for zero memory win.
+class FmIndex {
+ public:
+  /// Builds the index over all contigs of `reference`.
+  explicit FmIndex(const Reference& reference);
+
+  /// Backward-search extension: narrows `interval` by prepending `base`
+  /// (one of A/C/G/T).  Returns an empty interval when no match survives.
+  SaInterval extend(const SaInterval& interval, char base) const;
+
+  /// Full backward search for `pattern`; empty interval if absent.
+  SaInterval search(std::string_view pattern) const;
+
+  /// The interval covering every suffix (the search start state).
+  SaInterval whole() const {
+    return {0, static_cast<std::uint32_t>(bwt_.size())};
+  }
+
+  /// Resolves the reference position of SA row `row`.  Rows landing on a
+  /// contig separator return a RefPosition with contig_id == -1.
+  RefPosition locate(std::uint32_t row) const;
+
+  /// Total indexed length (including per-contig sentinels).
+  std::size_t text_length() const { return bwt_.size(); }
+
+  const Reference& reference() const { return *reference_; }
+
+ private:
+  std::uint8_t rank_code(char base) const;
+  /// occ(c, i): occurrences of code c in bwt[0, i).
+  std::uint32_t occ(std::uint8_t code, std::uint32_t i) const;
+
+  static constexpr int kAlphabet = 5;
+  static constexpr std::uint32_t kOccSample = 64;
+
+  const Reference* reference_;
+  std::vector<std::uint8_t> bwt_;
+  std::uint32_t c_[kAlphabet + 1] = {};  // C array: rows starting with < c
+  // Checkpointed occurrence counts: occ_checkpoints_[block*kAlphabet + c].
+  std::vector<std::uint32_t> occ_checkpoints_;
+  // Full suffix array (see class comment for the sampling tradeoff).
+  std::vector<std::uint32_t> sa_;
+  // Contig boundaries in the concatenated text: cumulative start offsets.
+  std::vector<std::uint64_t> contig_starts_;
+};
+
+}  // namespace gpf::align

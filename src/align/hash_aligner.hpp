@@ -1,0 +1,61 @@
+// SNAP-style hash-seed aligner: a flat k-mer hash of the reference with
+// single-end seed-and-check alignment.  This is the comparator engine for
+// the Persona baseline (the paper notes Persona integrates SNAP and uses
+// single-end reads; Fig 11(d)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/smith_waterman.hpp"
+#include "formats/fasta.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+
+namespace gpf::align {
+
+struct HashAlignerOptions {
+  int kmer_length = 20;
+  /// Index every `index_stride`-th reference position (SNAP indexes every
+  /// position; raising this trades recall for memory).
+  int index_stride = 1;
+  /// Seeds sampled from the read.
+  int seeds_per_read = 8;
+  /// Locations with more hits than this are treated as repetitive.
+  std::uint32_t max_hits = 32;
+  ScoringScheme scoring;
+  std::int32_t min_score = 30;
+  int band = 12;
+};
+
+/// Hash-based single-end aligner.
+class HashAligner {
+ public:
+  HashAligner(const Reference& reference, HashAlignerOptions options = {});
+
+  SamRecord align(const FastqRecord& read) const;
+
+  /// Index memory footprint in bytes (reported by the Persona bench).
+  std::size_t index_bytes() const;
+
+ private:
+  struct Location {
+    std::int32_t contig_id;
+    std::int64_t pos;
+  };
+
+  std::uint64_t kmer_at(std::string_view seq, std::size_t offset) const;
+  std::vector<Location> lookup(std::uint64_t kmer) const;
+
+  const Reference* reference_;
+  HashAlignerOptions options_;
+  // Open-addressing table: keys_ holds the kmer (or kEmpty), buckets_
+  // holds the index range into locations_.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> buckets_;
+  std::vector<Location> locations_;
+};
+
+}  // namespace gpf::align

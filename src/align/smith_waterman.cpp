@@ -1,0 +1,208 @@
+#include "align/smith_waterman.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gpf::align {
+namespace {
+
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+std::int32_t substitution(char a, char b, const ScoringScheme& s) {
+  if (a == 'N' || b == 'N') return s.n_score;
+  return a == b ? s.match : s.mismatch;
+}
+
+/// Traceback direction codes for the H matrix.
+enum : std::uint8_t {
+  kStop = 0,
+  kDiag = 1,
+  kFromE = 2,  // deletion run ends here
+  kFromF = 3,  // insertion run ends here
+};
+
+/// Gotoh DP shared by both entry points.  `local` toggles the 0-floor and
+/// free ends; for global mode, boundaries are gap-initialized and the
+/// traceback starts at (m, n).
+struct Dp {
+  std::string_view query, ref;
+  ScoringScheme scoring;
+  int band;
+  bool local;
+
+  std::size_t m, n;
+  // Row-major (m+1) x (n+1).
+  std::vector<std::int32_t> h, e, f;
+  std::vector<std::uint8_t> h_dir;
+  std::vector<std::uint8_t> e_ext, f_ext;  // 1 = came from gap extension
+
+  std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * (n + 1) + j;
+  }
+
+  void run() {
+    m = query.size();
+    n = ref.size();
+    const std::size_t cells = (m + 1) * (n + 1);
+    h.assign(cells, kNegInf);
+    e.assign(cells, kNegInf);
+    f.assign(cells, kNegInf);
+    h_dir.assign(cells, kStop);
+    e_ext.assign(cells, 0);
+    f_ext.assign(cells, 0);
+
+    h[idx(0, 0)] = 0;
+    if (!local) {
+      for (std::size_t j = 1; j <= n; ++j) {
+        h[idx(0, j)] = scoring.gap_open +
+                       scoring.gap_extend * static_cast<std::int32_t>(j - 1);
+        h_dir[idx(0, j)] = kFromE;
+        e[idx(0, j)] = h[idx(0, j)];
+        e_ext[idx(0, j)] = 1;
+      }
+      for (std::size_t i = 1; i <= m; ++i) {
+        h[idx(i, 0)] = scoring.gap_open +
+                       scoring.gap_extend * static_cast<std::int32_t>(i - 1);
+        h_dir[idx(i, 0)] = kFromF;
+        f[idx(i, 0)] = h[idx(i, 0)];
+        f_ext[idx(i, 0)] = 1;
+      }
+    } else {
+      for (std::size_t j = 1; j <= n; ++j) h[idx(0, j)] = 0;
+      for (std::size_t i = 1; i <= m; ++i) h[idx(i, 0)] = 0;
+    }
+
+    // Band bounds: keep |j - i| within band, widened by the length
+    // difference so a global path always fits.
+    const std::int64_t diff = static_cast<std::int64_t>(n) -
+                              static_cast<std::int64_t>(m);
+    const std::int64_t lo_w = band + std::max<std::int64_t>(0, -diff);
+    const std::int64_t hi_w = band + std::max<std::int64_t>(0, diff);
+
+    for (std::size_t i = 1; i <= m; ++i) {
+      const auto jlo = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, static_cast<std::int64_t>(i) - lo_w));
+      const auto jhi = static_cast<std::size_t>(std::min<std::int64_t>(
+          static_cast<std::int64_t>(n), static_cast<std::int64_t>(i) + hi_w));
+      for (std::size_t j = jlo; j <= jhi; ++j) {
+        const std::size_t c = idx(i, j);
+        // E: gap in query (deletion), consumes ref.
+        const std::int32_t e_open = h[idx(i, j - 1)] + scoring.gap_open;
+        const std::int32_t e_extend = e[idx(i, j - 1)] + scoring.gap_extend;
+        e[c] = std::max(e_open, e_extend);
+        e_ext[c] = e_extend > e_open ? 1 : 0;
+        // F: gap in ref (insertion), consumes query.
+        const std::int32_t f_open = h[idx(i - 1, j)] + scoring.gap_open;
+        const std::int32_t f_extend = f[idx(i - 1, j)] + scoring.gap_extend;
+        f[c] = std::max(f_open, f_extend);
+        f_ext[c] = f_extend > f_open ? 1 : 0;
+        // H.
+        const std::int32_t diag =
+            h[idx(i - 1, j - 1)] +
+            substitution(query[i - 1], ref[j - 1], scoring);
+        std::int32_t best = diag;
+        std::uint8_t dir = kDiag;
+        if (e[c] > best) {
+          best = e[c];
+          dir = kFromE;
+        }
+        if (f[c] > best) {
+          best = f[c];
+          dir = kFromF;
+        }
+        if (local && best <= 0) {
+          best = 0;
+          dir = kStop;
+        }
+        h[c] = best;
+        h_dir[c] = dir;
+      }
+    }
+  }
+
+  AlignmentResult traceback(std::size_t i, std::size_t j) const {
+    AlignmentResult out;
+    out.score = h[idx(i, j)];
+    out.query_end = static_cast<std::int32_t>(i);
+    out.ref_end = static_cast<std::int32_t>(j);
+
+    Cigar reversed;
+    auto push = [&reversed](CigarOp op, std::uint32_t len) {
+      if (!reversed.empty() && reversed.back().op == op) {
+        reversed.back().length += len;
+      } else {
+        reversed.push_back({op, len});
+      }
+    };
+
+    while (i > 0 || j > 0) {
+      const std::size_t c = idx(i, j);
+      const std::uint8_t dir = h_dir[c];
+      if (dir == kStop) break;
+      if (dir == kDiag) {
+        push(CigarOp::kMatch, 1);
+        if (query[i - 1] != ref[j - 1]) ++out.mismatches;
+        --i;
+        --j;
+      } else if (dir == kFromE) {
+        // Walk the deletion run.
+        while (j > 0) {
+          push(CigarOp::kDeletion, 1);
+          const bool extended = e_ext[idx(i, j)] != 0;
+          --j;
+          if (!extended) break;
+        }
+      } else {  // kFromF
+        while (i > 0) {
+          push(CigarOp::kInsertion, 1);
+          const bool extended = f_ext[idx(i, j)] != 0;
+          --i;
+          if (!extended) break;
+        }
+      }
+    }
+    out.query_start = static_cast<std::int32_t>(i);
+    out.ref_start = static_cast<std::int32_t>(j);
+    out.cigar.assign(reversed.rbegin(), reversed.rend());
+    return out;
+  }
+};
+
+}  // namespace
+
+AlignmentResult banded_global(std::string_view query, std::string_view ref,
+                              const ScoringScheme& scoring, int band) {
+  if (query.empty() || ref.empty()) {
+    throw std::invalid_argument("banded_global: empty input");
+  }
+  Dp dp{query, ref, scoring, band, /*local=*/false, 0, 0, {}, {}, {}, {}, {},
+        {}};
+  dp.run();
+  return dp.traceback(dp.m, dp.n);
+}
+
+AlignmentResult glocal(std::string_view query, std::string_view ref,
+                       const ScoringScheme& scoring, int band) {
+  if (query.empty() || ref.empty()) return {};
+  Dp dp{query, ref, scoring, band, /*local=*/true, 0, 0, {}, {}, {}, {}, {},
+        {}};
+  dp.run();
+  // Find the best cell anywhere (true local optimum).
+  std::int32_t best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= dp.m; ++i) {
+    for (std::size_t j = 1; j <= dp.n; ++j) {
+      if (dp.h[dp.idx(i, j)] > best) {
+        best = dp.h[dp.idx(i, j)];
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (best <= 0) return {};
+  return dp.traceback(bi, bj);
+}
+
+}  // namespace gpf::align

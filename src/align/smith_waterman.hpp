@@ -1,0 +1,48 @@
+// Banded pairwise alignment with affine gap penalties and CIGAR traceback —
+// the extension kernel behind the BWA-MEM-like aligner and the indel
+// realigner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "formats/cigar.hpp"
+
+namespace gpf::align {
+
+struct ScoringScheme {
+  std::int32_t match = 1;
+  std::int32_t mismatch = -4;
+  std::int32_t gap_open = -6;
+  std::int32_t gap_extend = -1;
+  /// Score for aligning anything against N (no information).
+  std::int32_t n_score = -1;
+};
+
+struct AlignmentResult {
+  std::int32_t score = 0;
+  /// Offsets of the aligned span within query and reference.
+  std::int32_t query_start = 0;
+  std::int32_t query_end = 0;  // exclusive
+  std::int32_t ref_start = 0;
+  std::int32_t ref_end = 0;  // exclusive
+  Cigar cigar;               // covers [query_start, query_end)
+  /// Number of mismatching aligned bases (the NM-tag ingredient).
+  std::int32_t mismatches = 0;
+};
+
+/// Global alignment of `query` against `ref` within a diagonal band of
+/// half-width `band`.  Both sequences are aligned end-to-end; use this when
+/// the query is expected to span the window (realignment, haplotype
+/// scoring).
+AlignmentResult banded_global(std::string_view query, std::string_view ref,
+                              const ScoringScheme& scoring, int band);
+
+/// Local ("glocal") alignment: the whole query against any substring of
+/// `ref`, with soft-clipping of low-scoring query ends.  Used by the read
+/// aligner to extend seeds.
+AlignmentResult glocal(std::string_view query, std::string_view ref,
+                       const ScoringScheme& scoring, int band);
+
+}  // namespace gpf::align

@@ -1,0 +1,209 @@
+#include "baselines/adamlike.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cleaner/bqsr.hpp"
+#include "cleaner/indel_realign.hpp"
+#include "cleaner/markdup.hpp"
+#include "cleaner/sorter.hpp"
+#include "compress/record_codec.hpp"
+#include "core/processes.hpp"
+
+namespace gpf::baselines {
+namespace {
+
+/// Emulated JVM object churn: allocate and touch a handful of small heap
+/// blocks per record (the htsjdk/Avro object graph), then burn the
+/// calibrated per-record framework cost (see FrameworkProfile).
+void object_churn(const SamRecord& rec, const FrameworkProfile& profile) {
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < profile.object_churn_allocs; ++i) {
+    // Sizes mimic boxed fields and small strings.
+    auto block = std::make_unique<std::uint8_t[]>(
+        16 + (i % 4) * 8 + (rec.sequence.size() & 15));
+    block[0] = static_cast<std::uint8_t>(i);
+    sink = sink + block[0];
+  }
+  // The LCG chain is serially dependent: ~1.6ns per step, so ~5 steps
+  // per 8 nanoseconds of modeled cost.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL + rec.pos;
+  const std::int64_t steps = profile.overhead_ns_per_record * 5 / 8;
+  for (std::int64_t i = 0; i < steps; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  sink = sink + x;
+  (void)sink;
+}
+
+/// One format-conversion round trip: serialize each record into the
+/// framework representation and parse it back.
+engine::Dataset<SamRecord> convert_stage(
+    const engine::Dataset<SamRecord>& input, const FrameworkProfile& profile,
+    const std::string& stage_name) {
+  const Codec codec = profile.codec;
+  return input.map_partitions<SamRecord>(
+      stage_name, [codec, profile](const std::vector<SamRecord>& part) {
+        const auto bytes = encode_sam_batch(part, codec);
+        auto out = decode_sam_batch(bytes, codec);
+        for (const auto& rec : out) object_churn(rec, profile);
+        return out;
+      });
+}
+
+engine::Dataset<SamRecord> maybe_convert(
+    const engine::Dataset<SamRecord>& input, const FrameworkProfile& profile,
+    const std::string& prefix, int which) {
+  if (profile.conversions_per_stage <= which) return input;
+  return convert_stage(input, profile,
+                       prefix + (which == 0 ? ".convert_in" : ".convert_out"));
+}
+
+}  // namespace
+
+FrameworkProfile FrameworkProfile::adam() {
+  // ADAM converts SAM into its Avro/Parquet schema on entry and back to
+  // SAM on exit of every tool invocation, materializing an Avro object
+  // graph per record per pass.
+  return {"adam", Codec::kKryoLike, 2, 24, 18'000, 320, 8};
+}
+
+FrameworkProfile FrameworkProfile::gatk4() {
+  // GATK4-Spark keeps htsjdk objects (one conversion) but its read
+  // transforms materialize heavy per-record object graphs and per-base
+  // covariate key objects.
+  return {"gatk4", Codec::kKryoLike, 2, 24, 15'000, 560, 6};
+}
+
+FrameworkProfile FrameworkProfile::none() {
+  return {"raw", Codec::kKryoLike, 0, 0, 0, 0, 1};
+}
+
+engine::Dataset<SamRecord> baseline_mark_duplicates(
+    engine::Engine& engine, const engine::Dataset<SamRecord>& input,
+    const FrameworkProfile& profile) {
+  const std::string prefix = std::string(profile.name) + ".markdup";
+  auto converted = maybe_convert(input, profile, prefix, 0);
+  const std::size_t n_out = std::max<std::size_t>(
+      engine.pool().size() * 2, input.partition_count());
+  auto shuffled =
+      converted.with_codec(gpf::core::make_sam_codec(profile.codec))
+          .shuffle(prefix + ".shuffle", n_out, [](const SamRecord& rec) {
+            const auto sig = cleaner::fragment_signature(rec);
+            return static_cast<std::uint64_t>(sig.contig_id) * 1000003ULL +
+                   static_cast<std::uint64_t>(sig.unclipped_start);
+          });
+  auto marked = shuffled.map_partitions<SamRecord>(
+      prefix + ".mark", [](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        cleaner::mark_duplicates(out);
+        return out;
+      });
+  return maybe_convert(marked, profile, prefix, 1);
+}
+
+engine::Dataset<SamRecord> baseline_bqsr(
+    engine::Engine& engine, const engine::Dataset<SamRecord>& input,
+    const Reference& reference, const std::vector<VcfRecord>& known_sites,
+    const FrameworkProfile& profile) {
+  const std::string prefix = std::string(profile.name) + ".bqsr";
+  auto converted = maybe_convert(input, profile, prefix, 0);
+
+  // No fusion: the stage repartitions by position even though the input
+  // may already be position-partitioned.
+  const std::size_t n_out = std::max<std::size_t>(
+      engine.pool().size() * 2, input.partition_count());
+  auto shuffled =
+      converted.with_codec(gpf::core::make_sam_codec(profile.codec))
+          .shuffle(prefix + ".shuffle", n_out, [](const SamRecord& rec) {
+            return static_cast<std::uint64_t>(
+                       rec.contig_id >= 0 ? rec.contig_id : 0) *
+                       1000003ULL +
+                   static_cast<std::uint64_t>(
+                       std::max<std::int64_t>(0, rec.pos) / 10000);
+          });
+
+  // GATK-style per-base covariate-key boxing in both BQSR passes.
+  const std::int64_t per_base_steps = profile.bqsr_per_base_ns * 5 / 8;
+  auto base_boxing = [per_base_steps](const std::vector<SamRecord>& part) {
+    volatile std::uint64_t sink = 0;
+    for (const auto& rec : part) {
+      std::uint64_t x = 0x9e3779b97f4a7c15ULL + rec.pos;
+      const std::int64_t steps =
+          per_base_steps * static_cast<std::int64_t>(rec.sequence.size());
+      for (std::int64_t i = 0; i < steps; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      sink = sink + x;
+    }
+    (void)sink;
+  };
+
+  const cleaner::KnownSites known(known_sites);
+  auto tables = shuffled.map_partitions<cleaner::RecalTable>(
+      prefix + ".collect",
+      [&reference, &known, &base_boxing](const std::vector<SamRecord>& part) {
+        base_boxing(part);
+        std::vector<cleaner::RecalTable> out;
+        out.push_back(collect_covariates(part, reference, known));
+        return out;
+      });
+  cleaner::RecalTable merged;
+  for (const auto& part : tables.partitions()) {
+    for (const auto& t : part) merged.merge(t);
+  }
+
+  auto applied = shuffled.map_partitions<SamRecord>(
+      prefix + ".apply",
+      [&merged, &base_boxing](const std::vector<SamRecord>& part) {
+        base_boxing(part);
+        std::vector<SamRecord> out = part;
+        cleaner::apply_recalibration(out, merged);
+        return out;
+      });
+  return maybe_convert(applied, profile, prefix, 1);
+}
+
+engine::Dataset<SamRecord> baseline_indel_realign(
+    engine::Engine& engine, const engine::Dataset<SamRecord>& input,
+    const Reference& reference, const std::vector<VcfRecord>& known_sites,
+    const FrameworkProfile& profile) {
+  const std::string prefix = std::string(profile.name) + ".indel";
+  auto converted = maybe_convert(input, profile, prefix, 0);
+  const std::size_t n_out = std::max<std::size_t>(
+      engine.pool().size() * 2, input.partition_count());
+  auto shuffled =
+      converted.with_codec(gpf::core::make_sam_codec(profile.codec))
+          .shuffle(prefix + ".shuffle", n_out, [](const SamRecord& rec) {
+            return static_cast<std::uint64_t>(
+                       rec.contig_id >= 0 ? rec.contig_id : 0) *
+                       1000003ULL +
+                   static_cast<std::uint64_t>(
+                       std::max<std::int64_t>(0, rec.pos) / 10000);
+          });
+  std::vector<VcfRecord> sorted_known = known_sites;
+  std::sort(sorted_known.begin(), sorted_known.end(), vcf_less);
+  const int consensus = profile.consensus_attempts;
+  auto realigned = shuffled.map_partitions<SamRecord>(
+      prefix + ".realign",
+      [&reference, sorted_known, consensus](
+          const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        cleaner::coordinate_sort(out);
+        const cleaner::RealignOptions options;
+        const auto targets =
+            cleaner::find_realign_targets(out, sorted_known, options);
+        // GATK/ADAM evaluate every candidate consensus per read; the
+        // realignment pass runs once per consensus (identical windows
+        // here — the *cost* pattern is what matters).
+        for (int c = 0; c < consensus; ++c) {
+          std::vector<SamRecord> scratch = out;
+          cleaner::realign_reads(scratch, reference, targets, options);
+          if (c + 1 == consensus) out = std::move(scratch);
+        }
+        return out;
+      });
+  return maybe_convert(realigned, profile, prefix, 1);
+}
+
+}  // namespace gpf::baselines

@@ -1,0 +1,241 @@
+#include "baselines/churchill.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "caller/haplotype_caller.hpp"
+#include "cleaner/bqsr.hpp"
+#include "cleaner/indel_realign.hpp"
+#include "cleaner/markdup.hpp"
+#include "cleaner/sorter.hpp"
+#include "common/timer.hpp"
+#include "compress/record_codec.hpp"
+#include "core/processes.hpp"
+
+namespace gpf::baselines {
+namespace {
+
+/// Serialized size of a SAM dataset under `codec` — the volume of the
+/// intermediate stage file Churchill writes and the next stage reads.
+std::uint64_t encoded_sam_bytes(const engine::Dataset<SamRecord>& dataset,
+                                Codec codec, double* seconds) {
+  Timer t;
+  std::atomic<std::uint64_t> total{0};
+  auto& pool = dataset.engine().pool();
+  const auto& parts = dataset.partitions();
+  pool.parallel_for(parts.size(), [&](std::size_t i) {
+    total += encode_sam_batch(parts[i], codec).size();
+  });
+  if (seconds != nullptr) *seconds = t.seconds();
+  return total.load();
+}
+
+/// Registers a file write + read pair at a stage boundary.
+void record_file_boundary(engine::Engine& engine, const std::string& name,
+                          std::uint64_t bytes, double seconds,
+                          std::size_t tasks) {
+  engine::StageMetrics write;
+  write.name = name + ".file_write";
+  write.task_count = tasks;
+  write.task_seconds.assign(tasks, seconds / (2.0 * tasks));
+  write.wall_seconds = seconds / 2.0;
+  write.output_bytes = bytes;
+  engine.metrics().add_stage(std::move(write));
+
+  engine::StageMetrics read;
+  read.name = name + ".file_read";
+  read.task_count = tasks;
+  read.task_seconds.assign(tasks, seconds / (2.0 * tasks));
+  read.wall_seconds = seconds / 2.0;
+  read.input_bytes = bytes;
+  engine.metrics().add_stage(std::move(read));
+}
+
+}  // namespace
+
+ChurchillResult run_churchill_pipeline(engine::Engine& engine,
+                                       const Reference& reference,
+                                       std::vector<FastqPair> pairs,
+                                       std::vector<VcfRecord> known_sites,
+                                       const ChurchillConfig& config) {
+  ChurchillResult result;
+  const std::size_t regions = std::max<std::size_t>(1, config.subregions);
+
+  // FASTQ ingestion from storage.
+  std::uint64_t fastq_bytes = 0;
+  for (const auto& p : pairs) {
+    fastq_bytes += p.first.sequence.size() * 2 + p.second.sequence.size() * 2 +
+                   p.first.name.size() * 2 + 14;
+  }
+  {
+    engine::StageMetrics load;
+    load.name = "churchill.load_fastq";
+    load.task_count = regions;
+    load.task_seconds.assign(regions, 0.0);
+    load.input_bytes = fastq_bytes;
+    engine.metrics().add_stage(std::move(load));
+  }
+
+  // Stage 1: alignment (embarrassingly parallel over FASTQ chunks).
+  const align::FmIndex index(reference);
+  const align::ReadAligner aligner(index);
+  auto fastq = engine.parallelize(std::move(pairs), regions);
+  auto aligned = fastq.flat_map(
+      "churchill.align", [&aligner](const FastqPair& pair) {
+        auto [r1, r2] = aligner.align_pair(pair);
+        std::vector<SamRecord> out;
+        out.push_back(std::move(r1));
+        out.push_back(std::move(r2));
+        return out;
+      });
+
+  // File boundary: raw aligned SAM to disk.
+  double enc_seconds = 0.0;
+  std::uint64_t bytes = encoded_sam_bytes(aligned, config.codec,
+                                          &enc_seconds);
+  record_file_boundary(engine, "churchill.align", bytes, enc_seconds,
+                       regions);
+  result.file_bytes += 2 * bytes;
+
+  // Stage 2: static subregion partitioning with boundaries fixed up-front:
+  // equal slices of the concatenated genome, regardless of coverage.
+  std::vector<std::uint64_t> contig_offsets;
+  std::uint64_t running = 0;
+  for (const auto& c : reference.contigs()) {
+    contig_offsets.push_back(running);
+    running += c.sequence.size();
+  }
+  const std::uint64_t region_len =
+      std::max<std::uint64_t>(1, running / regions);
+  auto region_of = [&contig_offsets, region_len,
+                    regions](const SamRecord& rec) -> std::uint64_t {
+    if (rec.contig_id < 0) return 0;
+    const std::uint64_t global =
+        contig_offsets[static_cast<std::size_t>(rec.contig_id)] +
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, rec.pos));
+    return std::min<std::uint64_t>(global / region_len, regions - 1);
+  };
+  auto by_region =
+      aligned.with_codec(gpf::core::make_sam_codec(config.codec))
+          .shuffle("churchill.region_split", regions, region_of);
+
+  // Stages 3-6 run per region, each separated by a stage file.
+  auto sorted = by_region.map_partitions<SamRecord>(
+      "churchill.sort", [](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        cleaner::coordinate_sort(out);
+        return out;
+      });
+  bytes = encoded_sam_bytes(sorted, config.codec, &enc_seconds);
+  record_file_boundary(engine, "churchill.sort", bytes, enc_seconds, regions);
+  result.file_bytes += 2 * bytes;
+
+  std::atomic<std::size_t> dup_count{0};
+  auto deduped = sorted.map_partitions<SamRecord>(
+      "churchill.markdup", [&dup_count](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        const auto stats = cleaner::mark_duplicates(out);
+        dup_count += stats.duplicates_marked;
+        return out;
+      });
+  bytes = encoded_sam_bytes(deduped, config.codec, &enc_seconds);
+  record_file_boundary(engine, "churchill.markdup", bytes, enc_seconds,
+                       regions);
+  result.file_bytes += 2 * bytes;
+  result.duplicates_marked = dup_count.load();
+
+  std::sort(known_sites.begin(), known_sites.end(), vcf_less);
+  auto realigned = deduped.map_partitions<SamRecord>(
+      "churchill.indel_realign",
+      [&reference, &known_sites](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        const cleaner::RealignOptions options;
+        const auto targets =
+            cleaner::find_realign_targets(out, known_sites, options);
+        cleaner::realign_reads(out, reference, targets, options);
+        return out;
+      });
+  bytes = encoded_sam_bytes(realigned, config.codec, &enc_seconds);
+  record_file_boundary(engine, "churchill.indel_realign", bytes, enc_seconds,
+                       regions);
+  result.file_bytes += 2 * bytes;
+
+  // BQSR: per-region table collection then merge + apply.
+  const cleaner::KnownSites known_lookup(known_sites);
+  auto tables = realigned.map_partitions<cleaner::RecalTable>(
+      "churchill.bqsr_collect",
+      [&reference, &known_lookup](const std::vector<SamRecord>& part) {
+        std::vector<cleaner::RecalTable> out;
+        out.push_back(collect_covariates(part, reference, known_lookup));
+        return out;
+      });
+  cleaner::RecalTable merged;
+  for (const auto& part : tables.partitions()) {
+    for (const auto& t : part) merged.merge(t);
+  }
+  auto recaled = realigned.map_partitions<SamRecord>(
+      "churchill.bqsr_apply",
+      [&merged](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> out = part;
+        cleaner::apply_recalibration(out, merged);
+        return out;
+      });
+  bytes = encoded_sam_bytes(recaled, config.codec, &enc_seconds);
+  record_file_boundary(engine, "churchill.bqsr", bytes, enc_seconds, regions);
+  result.file_bytes += 2 * bytes;
+
+  // Stage 7: per-region variant calling.
+  auto called = recaled.map_partitions<VcfRecord>(
+      "churchill.haplotype_call",
+      [&reference](const std::vector<SamRecord>& part) {
+        std::vector<SamRecord> sorted_part = part;
+        cleaner::coordinate_sort(sorted_part);
+        const caller::CallerOptions options;
+        return caller::call_variants(sorted_part, reference, options);
+      });
+
+  result.variants = called.collect();
+  std::sort(result.variants.begin(), result.variants.end(), vcf_less);
+  result.variants.erase(
+      std::unique(result.variants.begin(), result.variants.end(),
+                  [](const VcfRecord& a, const VcfRecord& b) {
+                    return a.contig_id == b.contig_id && a.pos == b.pos &&
+                           a.ref == b.ref && a.alt == b.alt;
+                  }),
+      result.variants.end());
+
+  std::uint64_t vcf_bytes = 0;
+  for (const auto& v : result.variants) {
+    vcf_bytes += 24 + v.ref.size() + v.alt.size();
+  }
+  engine::StageMetrics write;
+  write.name = "churchill.write_vcf";
+  write.task_count = 1;
+  write.task_seconds.assign(1, 0.0);
+  write.output_bytes = vcf_bytes;
+  engine.metrics().add_stage(std::move(write));
+
+  return result;
+}
+
+std::vector<sim::FilePipelineStep> churchill_file_steps(
+    const engine::EngineMetrics& metrics, double scale) {
+  std::vector<sim::FilePipelineStep> steps;
+  for (const auto& stage : metrics.stages()) {
+    sim::FilePipelineStep step;
+    step.name = stage.name;
+    step.cpu_core_seconds = stage.total_compute_seconds() * scale;
+    step.read_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stage.input_bytes + stage.shuffle_read_bytes) *
+        scale);
+    step.write_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stage.output_bytes + stage.shuffle_write_bytes) *
+        scale);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+}  // namespace gpf::baselines

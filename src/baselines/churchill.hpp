@@ -1,0 +1,58 @@
+// Churchill-like baseline (Kelly et al., Genome Biology 2015): full WGS
+// pipeline parallelization with
+//   * static genomic subregions with fixed boundaries decided before the
+//     analysis starts ("the chromosomal subregion is decided at the
+//     beginning of the analysis", paper Sec 5.2.1), and
+//   * disk-file intermediates between every stage (workflow-managed tools
+//     communicating via SAM/BAM files).
+//
+// Those two properties are exactly what limit its scalability in the
+// paper's Fig 10: static regions inherit the coverage skew (no dynamic
+// split), and every stage boundary pays file write+read.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/record_codec.hpp"
+#include "engine/dataset.hpp"
+#include "formats/fasta.hpp"
+#include "formats/fastq.hpp"
+#include "formats/vcf.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/sharedfs.hpp"
+
+namespace gpf::baselines {
+
+struct ChurchillConfig {
+  /// Number of static genomic subregions (Churchill uses one per core at
+  /// launch time; boundaries never change).
+  std::size_t subregions = 64;
+  /// Serializer used for the intermediate "files".
+  Codec codec = Codec::kKryoLike;
+};
+
+struct ChurchillResult {
+  std::vector<VcfRecord> variants;
+  /// Bytes written to + read from intermediate stage files.
+  std::uint64_t file_bytes = 0;
+  std::size_t duplicates_marked = 0;
+};
+
+/// Runs the Churchill-style pipeline on the engine, recording stage
+/// metrics (including the file I/O volumes as stage input/output bytes)
+/// into the engine's metrics for simulator replay.
+ChurchillResult run_churchill_pipeline(engine::Engine& engine,
+                                       const Reference& reference,
+                                       std::vector<FastqPair> pairs,
+                                       std::vector<VcfRecord> known_sites,
+                                       const ChurchillConfig& config = {});
+
+/// Derives the Table 1 file-pipeline step list (CPU core-seconds + file
+/// bytes per WGS stage) from a measured Churchill run, scaled by
+/// `scale` so the motivation experiment can model the paper's 100GB+
+/// inputs.
+std::vector<sim::FilePipelineStep> churchill_file_steps(
+    const engine::EngineMetrics& metrics, double scale);
+
+}  // namespace gpf::baselines

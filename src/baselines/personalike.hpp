@@ -1,0 +1,56 @@
+// Persona-like baseline (Byma et al., USENIX ATC'17) for the aligner
+// throughput comparison (paper Fig 11 d) and the duplicate-marking
+// comparison (Fig 11 a).
+//
+// Persona's properties the paper leans on:
+//   * it integrates SNAP (hash-seed aligner) and aligns single-end reads;
+//   * everything must first be imported into its AGD format — the paper
+//     measures FASTQ->AGD at 360 MB/s and AGD->BAM at 82 MB/s, a
+//     conversion cost that dwarfs alignment on real datasets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/dataset.hpp"
+#include "formats/fasta.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+
+namespace gpf::baselines {
+
+struct PersonaConfig {
+  /// AGD import/export rates, bytes/second (the paper's measured values).
+  double fastq_to_agd_bw = 360e6;
+  double agd_to_bam_bw = 82e6;
+};
+
+struct PersonaAlignResult {
+  std::vector<SamRecord> records;
+  /// Bases aligned, and the pure-alignment compute core-seconds.
+  std::uint64_t bases = 0;
+  double align_core_seconds = 0.0;
+  /// Modeled conversion wall seconds for the input/output volumes.
+  double conversion_seconds = 0.0;
+
+  double throughput_gbases_per_s(double wall_seconds) const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(bases) / 1e9 / wall_seconds;
+  }
+};
+
+/// Runs the SNAP-like single-end aligner over both mates of every pair
+/// (Persona treats them as independent single-end reads), recording
+/// stages into the engine metrics and modeling AGD conversion time.
+PersonaAlignResult persona_align(engine::Engine& engine,
+                                 const Reference& reference,
+                                 const std::vector<FastqPair>& pairs,
+                                 const PersonaConfig& config = {});
+
+/// Persona-style duplicate marking: single-end signatures only (no mate
+/// information in AGD's flat record stream), hash-partitioned.
+engine::Dataset<SamRecord> persona_mark_duplicates(
+    engine::Engine& engine, const engine::Dataset<SamRecord>& input);
+
+}  // namespace gpf::baselines

@@ -1,0 +1,159 @@
+#include "caller/active_region.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpf::caller {
+namespace {
+
+bool usable(const SamRecord& rec) {
+  return !rec.is_unmapped() && !rec.is_duplicate() && !rec.is_secondary() &&
+         rec.contig_id >= 0;
+}
+
+/// Adds mismatch/indel activity events for one record.
+void add_activity(const SamRecord& rec, const Reference& reference,
+                  std::map<std::pair<std::int32_t, std::int64_t>, int>& act) {
+  std::int64_t ref_pos = rec.pos;
+  std::size_t read_pos = 0;
+  for (const auto& el : rec.cigar) {
+    switch (el.op) {
+      case CigarOp::kMatch:
+      case CigarOp::kEqual:
+      case CigarOp::kDiff: {
+        const std::string_view ref_span =
+            reference.slice(rec.contig_id, ref_pos, el.length);
+        for (std::size_t i = 0; i < ref_span.size(); ++i) {
+          const char rb = ref_span[i];
+          const char qb = rec.sequence[read_pos + i];
+          // Low-quality mismatches are noise, not activity.
+          if (rb != 'N' && qb != 'N' && rb != qb &&
+              rec.quality[read_pos + i] - 33 >= 20) {
+            ++act[{rec.contig_id, ref_pos + static_cast<std::int64_t>(i)}];
+          }
+        }
+        ref_pos += el.length;
+        read_pos += el.length;
+        break;
+      }
+      case CigarOp::kInsertion:
+        act[{rec.contig_id, ref_pos}] += 2;
+        read_pos += el.length;
+        break;
+      case CigarOp::kDeletion:
+      case CigarOp::kSkip:
+        act[{rec.contig_id, ref_pos}] += 2;
+        ref_pos += el.length;
+        break;
+      case CigarOp::kSoftClip:
+        read_pos += el.length;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ActiveRegion> find_active_regions(
+    std::span<const SamRecord> sorted_records, const Reference& reference,
+    const ActiveRegionOptions& options) {
+  // Pileup of activity events plus a coarse coverage profile (100bp bins)
+  // for the depth-relative threshold.
+  constexpr std::int64_t kDepthBin = 100;
+  std::map<std::pair<std::int32_t, std::int64_t>, int> activity;
+  std::map<std::pair<std::int32_t, std::int64_t>, std::int64_t> coverage;
+  for (const auto& rec : sorted_records) {
+    if (!usable(rec)) continue;
+    add_activity(rec, reference, activity);
+    const std::int64_t lo = rec.pos;
+    const std::int64_t hi = rec.end_pos();
+    for (std::int64_t bin = lo / kDepthBin; bin <= (hi - 1) / kDepthBin;
+         ++bin) {
+      const std::int64_t overlap = std::min(hi, (bin + 1) * kDepthBin) -
+                                   std::max(lo, bin * kDepthBin);
+      coverage[{rec.contig_id, bin}] += overlap;
+    }
+  }
+  auto depth_at = [&coverage](std::int32_t contig, std::int64_t pos) {
+    const auto it = coverage.find({contig, pos / kDepthBin});
+    return it == coverage.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(kDepthBin);
+  };
+
+  // Collect active positions and merge into spans.
+  std::vector<ActiveRegion> regions;
+  for (const auto& [key, count] : activity) {
+    if (count < options.min_activity) continue;
+    if (static_cast<double>(count) <
+        options.min_activity_fraction * depth_at(key.first, key.second)) {
+      continue;
+    }
+    const auto [contig, pos] = key;
+    if (!regions.empty() && regions.back().contig_id == contig &&
+        pos - regions.back().end <= options.merge_distance &&
+        regions.back().size() < options.max_region_size) {
+      regions.back().end = pos + 1;
+    } else {
+      ActiveRegion r;
+      r.contig_id = contig;
+      r.start = pos;
+      r.end = pos + 1;
+      regions.push_back(std::move(r));
+    }
+  }
+
+  // Pad and clamp.
+  for (auto& r : regions) {
+    const auto contig_len = static_cast<std::int64_t>(
+        reference.contig(r.contig_id).sequence.size());
+    r.start = std::max<std::int64_t>(0, r.start - options.padding);
+    r.end = std::min(contig_len, r.end + options.padding);
+  }
+  // Merge overlaps introduced by padding.
+  std::vector<ActiveRegion> merged;
+  for (auto& r : regions) {
+    if (!merged.empty() && merged.back().contig_id == r.contig_id &&
+        r.start <= merged.back().end &&
+        merged.back().size() + r.size() <= 2 * options.max_region_size) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(std::move(r));
+    }
+  }
+
+  // Assign reads to regions (records are coordinate sorted; two-pointer
+  // sweep).
+  std::size_t rec_idx = 0;
+  for (auto& region : merged) {
+    // Advance past records entirely before the region.
+    while (rec_idx < sorted_records.size()) {
+      const auto& rec = sorted_records[rec_idx];
+      if (!usable(rec)) {
+        ++rec_idx;
+        continue;
+      }
+      if (rec.contig_id < region.contig_id ||
+          (rec.contig_id == region.contig_id &&
+           rec.end_pos() <= region.start)) {
+        ++rec_idx;
+        continue;
+      }
+      break;
+    }
+    // Scan forward collecting overlaps (without consuming, since a read
+    // can span two regions).
+    for (std::size_t j = rec_idx; j < sorted_records.size(); ++j) {
+      const auto& rec = sorted_records[j];
+      if (!usable(rec)) continue;
+      if (rec.contig_id != region.contig_id || rec.pos >= region.end) break;
+      if (rec.end_pos() > region.start) region.read_indices.push_back(j);
+    }
+  }
+  return merged;
+}
+
+}  // namespace gpf::caller

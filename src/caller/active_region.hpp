@@ -1,0 +1,49 @@
+// Active-region detection: the HaplotypeCaller front-end that restricts
+// expensive local assembly + pair-HMM work to genomic windows showing
+// evidence of variation (mismatch/indel pileup activity).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "formats/fasta.hpp"
+#include "formats/sam.hpp"
+
+namespace gpf::caller {
+
+struct ActiveRegionOptions {
+  /// Minimum summed activity at a position to seed a region.
+  int min_activity = 2;
+  /// Depth-relative floor: a position is active only when its activity
+  /// also reaches this fraction of the local coverage depth.  This is
+  /// GATK's guard against sequencing-error pileups looking active in
+  /// ultra-deep regions (the 10,000x hotspots of paper Sec 4.4).
+  double min_activity_fraction = 0.04;
+  /// Active positions closer than this merge into one region.
+  std::int64_t merge_distance = 50;
+  /// Padding added on both sides of the active span.
+  std::int64_t padding = 75;
+  /// Regions larger than this are split.
+  std::int64_t max_region_size = 400;
+};
+
+/// A window selected for assembly, with the indices (into the input
+/// record span) of reads overlapping it.
+struct ActiveRegion {
+  std::int32_t contig_id = -1;
+  std::int64_t start = 0;
+  std::int64_t end = 0;  // exclusive
+  std::vector<std::size_t> read_indices;
+
+  std::int64_t size() const { return end - start; }
+};
+
+/// Scans coordinate-sorted records and returns active regions.  Unmapped,
+/// duplicate and secondary records contribute no activity and are never
+/// assigned to regions.
+std::vector<ActiveRegion> find_active_regions(
+    std::span<const SamRecord> sorted_records, const Reference& reference,
+    const ActiveRegionOptions& options = {});
+
+}  // namespace gpf::caller

@@ -1,0 +1,172 @@
+#include "caller/assembler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gpf::caller {
+namespace {
+
+/// Rolling 2-bit k-mer encoding; returns false when the window contains a
+/// non-ACGT character.
+bool encode_kmer(std::string_view s, std::size_t at, int k,
+                 std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < k; ++i) {
+    switch (s[at + static_cast<std::size_t>(i)]) {
+      case 'A':
+        v = (v << 2) | 0;
+        break;
+      case 'C':
+        v = (v << 2) | 1;
+        break;
+      case 'G':
+        v = (v << 2) | 2;
+        break;
+      case 'T':
+        v = (v << 2) | 3;
+        break;
+      default:
+        return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+char last_base(std::uint64_t kmer) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  return kBases[kmer & 3];
+}
+
+}  // namespace
+
+namespace {
+
+/// True when every k-mer of the reference window is unique — the
+/// precondition for cycle-free source/sink anchoring (GATK retries with a
+/// larger k when it fails).
+bool ref_kmers_unique(std::string_view ref_window, int k) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0;
+       i + static_cast<std::size_t>(k) <= ref_window.size(); ++i) {
+    std::uint64_t km;
+    if (!encode_kmer(ref_window, i, k, km)) continue;
+    if (!seen.insert(km).second) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AssemblyResult assemble_haplotypes(std::span<const std::string_view> reads,
+                                   std::string_view ref_window,
+                                   const AssemblerOptions& options) {
+  int k = options.kmer_length;
+  if (k < 5 || k > 31) {
+    throw std::invalid_argument("assembler kmer_length must be in [5, 31]");
+  }
+  AssemblyResult result;
+  result.haplotypes.push_back(std::string(ref_window));
+  if (static_cast<int>(ref_window.size()) <= k) return result;
+
+  // Repetitive windows make the reference path cyclic; retry with larger
+  // k, then give up (GATK's fallback to the reference haplotype).
+  while (!ref_kmers_unique(ref_window, k)) {
+    k += 6;
+    if (k > 31 || static_cast<int>(ref_window.size()) <= k) return result;
+  }
+
+  // Count k-mers from reads.
+  std::unordered_map<std::uint64_t, int> counts;
+  for (const auto read : reads) {
+    if (static_cast<int>(read.size()) < k) continue;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k) <= read.size();
+         ++i) {
+      std::uint64_t km;
+      if (encode_kmer(read, i, k, km)) ++counts[km];
+    }
+  }
+  // Reference k-mers are always present (count boost keeps them past
+  // pruning).
+  std::unordered_set<std::uint64_t> ref_kmers;
+  for (std::size_t i = 0;
+       i + static_cast<std::size_t>(k) <= ref_window.size(); ++i) {
+    std::uint64_t km;
+    if (encode_kmer(ref_window, i, k, km)) {
+      ref_kmers.insert(km);
+      counts[km] = std::max(counts[km], options.min_kmer_count);
+    }
+  }
+
+  // Adjacency: for each surviving (k-1)-prefix, which bases extend it.
+  // Edges follow from k-mer membership: kmer a->b iff suffix(a) ==
+  // prefix(b); we walk by trying all 4 extensions.
+  const std::uint64_t mask =
+      k == 32 ? ~0ULL : ((1ULL << (2 * k)) - 1);
+  auto survives = [&](std::uint64_t km) {
+    const auto it = counts.find(km);
+    return it != counts.end() && it->second >= options.min_kmer_count;
+  };
+
+  std::uint64_t source, sink;
+  if (!encode_kmer(ref_window, 0, k, source) ||
+      !encode_kmer(ref_window, ref_window.size() - static_cast<std::size_t>(k),
+                   k, sink)) {
+    return result;  // anchors contain N: no assembly
+  }
+
+  // Bounded DFS from source to sink.  A haplotype is only emitted when
+  // its length is plausible for the window — repetitive graphs (e.g.
+  // homopolymers) reach the sink k-mer early and must keep walking.
+  const auto max_len = static_cast<std::size_t>(
+      static_cast<double>(ref_window.size()) * options.max_path_stretch);
+  const auto min_len = static_cast<std::size_t>(
+      static_cast<double>(ref_window.size()) / options.max_path_stretch);
+  struct Frame {
+    std::uint64_t kmer;
+    std::string path;  // bases appended after the source k-mer
+  };
+  std::vector<Frame> stack;
+  stack.push_back({source, {}});
+  std::vector<std::string> haplotypes;
+  // Budget on explored states to keep worst-case graphs cheap.
+  int budget = 20000;
+
+  while (!stack.empty() && budget-- > 0 &&
+         static_cast<int>(haplotypes.size()) < options.max_haplotypes) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.kmer == sink && !f.path.empty() &&
+        f.path.size() + static_cast<std::size_t>(k) >= min_len) {
+      std::string hap(ref_window.substr(0, static_cast<std::size_t>(k)));
+      hap += f.path;
+      haplotypes.push_back(std::move(hap));
+      continue;
+    }
+    if (f.path.size() >= max_len) continue;
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t next = ((f.kmer << 2) | b) & mask;
+      if (!survives(next)) continue;
+      Frame nf;
+      nf.kmer = next;
+      nf.path = f.path;
+      nf.path.push_back(last_base(next));
+      stack.push_back(std::move(nf));
+    }
+  }
+
+  // Keep the reference haplotype first and deduplicate.
+  std::unordered_set<std::string> seen;
+  seen.insert(result.haplotypes[0]);
+  for (auto& h : haplotypes) {
+    if (seen.insert(h).second) {
+      result.haplotypes.push_back(std::move(h));
+      result.assembled = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace gpf::caller

@@ -1,0 +1,45 @@
+// Local de Bruijn assembly of candidate haplotypes over an active region
+// (the "local de-novo assembly of haplotypes" the paper's
+// HaplotypeCallerProcess description cites).
+//
+// A k-mer graph is built from the region's reads plus the reference
+// window; low-support k-mers are pruned; candidate haplotypes are all
+// acyclic source->sink paths (bounded), where source/sink are the
+// reference window's first/last k-mers.  When assembly fails (cycle
+// through the reference anchors, missing anchors after pruning) the
+// reference window is returned alone, which degrades the caller to
+// ref-only — exactly GATK's fallback behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpf::caller {
+
+struct AssemblerOptions {
+  int kmer_length = 21;
+  /// K-mers seen fewer times than this in the reads are pruned (reference
+  /// k-mers are always kept).
+  int min_kmer_count = 2;
+  /// Cap on emitted haplotypes.
+  int max_haplotypes = 16;
+  /// DFS budget: maximum path length in bases relative to the window.
+  double max_path_stretch = 1.5;
+};
+
+struct AssemblyResult {
+  /// Candidate haplotypes; index 0 is always the reference window.
+  std::vector<std::string> haplotypes;
+  /// True when the graph produced at least one non-reference haplotype.
+  bool assembled = false;
+};
+
+/// Assembles haplotypes for reads against the reference window.
+AssemblyResult assemble_haplotypes(std::span<const std::string_view> reads,
+                                   std::string_view ref_window,
+                                   const AssemblerOptions& options = {});
+
+}  // namespace gpf::caller

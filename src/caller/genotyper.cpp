@@ -1,0 +1,151 @@
+#include "caller/genotyper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "align/smith_waterman.hpp"
+
+namespace gpf::caller {
+namespace {
+
+/// log10( (10^a + 10^b) / 2 ): the diploid per-read mixture.
+double log10_mean(double a, double b) {
+  const double m = std::max(a, b);
+  return m + std::log10((std::pow(10.0, a - m) + std::pow(10.0, b - m)) / 2.0) ;
+}
+
+/// Variants present in `haplotype` relative to the reference window.
+std::vector<VcfRecord> haplotype_variants(const std::string& haplotype,
+                                          const std::string& ref_window,
+                                          std::int32_t contig_id,
+                                          std::int64_t window_start,
+                                          int band) {
+  std::vector<VcfRecord> out;
+  if (haplotype == ref_window) return out;
+  const align::AlignmentResult r = align::banded_global(
+      haplotype, ref_window, align::ScoringScheme{}, band);
+  std::int64_t ref_pos = 0;   // offset in window
+  std::size_t hap_pos = 0;
+  for (const auto& el : r.cigar) {
+    switch (el.op) {
+      case CigarOp::kMatch:
+      case CigarOp::kEqual:
+      case CigarOp::kDiff:
+        for (std::uint32_t i = 0; i < el.length; ++i) {
+          const char rb = ref_window[static_cast<std::size_t>(ref_pos + i)];
+          const char hb = haplotype[hap_pos + i];
+          if (rb != hb && rb != 'N' && hb != 'N') {
+            VcfRecord v;
+            v.contig_id = contig_id;
+            v.pos = window_start + ref_pos + i;
+            v.ref = std::string(1, rb);
+            v.alt = std::string(1, hb);
+            out.push_back(std::move(v));
+          }
+        }
+        ref_pos += el.length;
+        hap_pos += el.length;
+        break;
+      case CigarOp::kInsertion: {
+        // Anchor on the previous reference base (VCF convention).
+        if (ref_pos > 0) {
+          VcfRecord v;
+          v.contig_id = contig_id;
+          v.pos = window_start + ref_pos - 1;
+          v.ref = std::string(1, ref_window[static_cast<std::size_t>(
+                                     ref_pos - 1)]);
+          v.alt = v.ref + haplotype.substr(hap_pos, el.length);
+          out.push_back(std::move(v));
+        }
+        hap_pos += el.length;
+        break;
+      }
+      case CigarOp::kDeletion: {
+        if (ref_pos > 0) {
+          VcfRecord v;
+          v.contig_id = contig_id;
+          v.pos = window_start + ref_pos - 1;
+          v.ref = ref_window.substr(static_cast<std::size_t>(ref_pos - 1),
+                                    el.length + 1);
+          v.alt = std::string(1, ref_window[static_cast<std::size_t>(
+                                     ref_pos - 1)]);
+          out.push_back(std::move(v));
+        }
+        ref_pos += el.length;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<GenotypedVariant> genotype_region(
+    std::span<const std::string> haplotypes,
+    const LikelihoodMatrix& likelihoods, std::int32_t contig_id,
+    std::int64_t window_start, const GenotyperOptions& options) {
+  std::vector<GenotypedVariant> out;
+  if (haplotypes.size() < 2 || likelihoods.empty()) return out;
+  const std::size_t n_hap = haplotypes.size();
+  const std::size_t n_reads = likelihoods.size();
+
+  // Score every unordered haplotype pair.
+  double best_score = -1e300;
+  double homref_score = 0.0;
+  std::size_t best_a = 0, best_b = 0;
+  for (std::size_t a = 0; a < n_hap; ++a) {
+    for (std::size_t b = a; b < n_hap; ++b) {
+      double score = 0.0;
+      for (std::size_t r = 0; r < n_reads; ++r) {
+        score += log10_mean(likelihoods[r][a], likelihoods[r][b]);
+      }
+      if (a == 0 && b == 0) homref_score = score;
+      if (score > best_score) {
+        best_score = score;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  if (best_a == 0 && best_b == 0) return out;  // hom-ref region
+
+  const double qual = std::max(0.0, 10.0 * (best_score - homref_score));
+  if (qual < options.min_qual) return out;
+
+  // Extract variants from the winning pair.
+  const std::string& ref_window = haplotypes[0];
+  std::map<std::pair<std::int64_t, std::pair<std::string, std::string>>, int>
+      allele_count;
+  for (const std::size_t h : {best_a, best_b}) {
+    if (h == 0) continue;
+    for (auto& v : haplotype_variants(haplotypes[h], ref_window, contig_id,
+                                      window_start, options.band)) {
+      ++allele_count[{v.pos, {v.ref, v.alt}}];
+    }
+  }
+  for (const auto& [key, count] : allele_count) {
+    GenotypedVariant gv;
+    gv.record.contig_id = contig_id;
+    gv.record.pos = key.first;
+    gv.record.ref = key.second.first;
+    gv.record.alt = key.second.second;
+    gv.record.qual = qual;
+    // Both chosen haplotypes carry it (or one hap chosen twice) -> hom.
+    const bool hom = count >= 2 || (best_a == best_b);
+    gv.record.genotype = hom ? Genotype::kHomAlt : Genotype::kHet;
+    gv.hap_a = static_cast<int>(best_a);
+    gv.hap_b = static_cast<int>(best_b);
+    out.push_back(std::move(gv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GenotypedVariant& a, const GenotypedVariant& b) {
+              return vcf_less(a.record, b.record);
+            });
+  return out;
+}
+
+}  // namespace gpf::caller

@@ -1,0 +1,44 @@
+// Diploid genotyping over assembled haplotypes: picks the best haplotype
+// pair by total read likelihood, extracts variants from the winning
+// haplotypes by alignment against the reference window, and assigns
+// genotypes/QUALs from likelihood ratios.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "formats/vcf.hpp"
+
+namespace gpf::caller {
+
+struct GenotyperOptions {
+  /// Variants with QUAL below this are dropped.
+  double min_qual = 10.0;
+  /// Band for haplotype-vs-reference alignment.
+  int band = 24;
+};
+
+/// Read likelihood matrix: likelihoods[r][h] = log10 P(read r | hap h).
+using LikelihoodMatrix = std::vector<std::vector<double>>;
+
+struct GenotypedVariant {
+  VcfRecord record;
+  /// Index of the haplotype(s) carrying the allele (diagnostics).
+  int hap_a = -1;
+  int hap_b = -1;
+};
+
+/// Genotypes an active region.
+///  `haplotypes` — candidate haplotypes, index 0 must be the reference
+///  window;
+///  `likelihoods` — per read x haplotype log10 likelihoods;
+///  `contig_id` / `window_start` — mapping of window offsets to reference
+///  coordinates.
+std::vector<GenotypedVariant> genotype_region(
+    std::span<const std::string> haplotypes,
+    const LikelihoodMatrix& likelihoods, std::int32_t contig_id,
+    std::int64_t window_start, const GenotyperOptions& options = {});
+
+}  // namespace gpf::caller

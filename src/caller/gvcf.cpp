@@ -1,0 +1,181 @@
+#include "caller/gvcf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace gpf::caller {
+namespace {
+
+/// GQ band index for a quality value (0 = below the first band).
+std::size_t band_of(std::int32_t gq, const std::vector<std::int32_t>& bands) {
+  std::size_t band = 0;
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    if (gq >= bands[i]) band = i + 1;
+  }
+  return band;
+}
+
+}  // namespace
+
+std::vector<GvcfBlock> reference_blocks(
+    std::span<const SamRecord> sorted_records,
+    std::span<const VcfRecord> variants, const Reference& reference,
+    const GvcfOptions& options) {
+  // Depth profile via coverage difference arrays per contig.
+  std::map<std::int32_t, std::map<std::int64_t, std::int32_t>> deltas;
+  for (const auto& rec : sorted_records) {
+    if (rec.is_unmapped() || rec.is_duplicate() || rec.is_secondary() ||
+        rec.contig_id < 0) {
+      continue;
+    }
+    auto& d = deltas[rec.contig_id];
+    d[rec.pos] += 1;
+    d[rec.end_pos()] -= 1;
+  }
+
+  // Variant positions to exclude (whole REF span).
+  std::map<std::int32_t, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      var_spans;
+  for (const auto& v : variants) {
+    var_spans[v.contig_id].emplace_back(
+        v.pos, v.pos + static_cast<std::int64_t>(v.ref.size()));
+  }
+  for (auto& [cid, spans] : var_spans) std::sort(spans.begin(), spans.end());
+
+  std::vector<GvcfBlock> blocks;
+  for (const auto& [cid, d] : deltas) {
+    const auto contig_len =
+        static_cast<std::int64_t>(reference.contig(cid).sequence.size());
+    const auto& spans = var_spans[cid];
+    std::size_t span_idx = 0;
+
+    std::int32_t depth = 0;
+    std::int64_t segment_start = 0;
+    GvcfBlock current;  // contig_id == -1 means "no open block"
+
+    auto close_block = [&blocks, &current]() {
+      if (current.contig_id >= 0 && current.end > current.start) {
+        blocks.push_back(current);
+      }
+      current.contig_id = -1;
+    };
+
+    // Walk the depth profile as piecewise-constant segments.
+    auto process_segment = [&](std::int64_t from, std::int64_t to,
+                               std::int32_t seg_depth) {
+      if (to <= from) return;
+      // Clip out variant spans inside the segment.
+      std::int64_t cursor = from;
+      while (span_idx < spans.size() && spans[span_idx].second <= cursor) {
+        ++span_idx;
+      }
+      std::size_t idx = span_idx;
+      while (cursor < to) {
+        std::int64_t next_cut = to;
+        bool in_variant = false;
+        if (idx < spans.size() && spans[idx].first < to) {
+          if (spans[idx].first <= cursor) {
+            // Inside a variant span.
+            in_variant = true;
+            next_cut = std::min(to, spans[idx].second);
+          } else {
+            next_cut = spans[idx].first;
+          }
+        }
+        const std::int32_t gq = static_cast<std::int32_t>(std::min(
+            99.0, options.gq_per_read * static_cast<double>(seg_depth)));
+        const bool emit = !in_variant && seg_depth >= options.min_depth;
+        if (emit) {
+          const std::size_t band = band_of(gq, options.gq_bands);
+          if (current.contig_id >= 0 && current.end == cursor &&
+              band_of(current.gq, options.gq_bands) == band) {
+            // Extend the open block within the same GQ band.
+            current.end = next_cut;
+            current.min_depth = std::min(current.min_depth, seg_depth);
+            current.gq = std::min(current.gq, gq);
+          } else {
+            close_block();
+            current.contig_id = cid;
+            current.start = cursor;
+            current.end = next_cut;
+            current.min_depth = seg_depth;
+            current.gq = gq;
+          }
+        } else {
+          close_block();
+        }
+        cursor = next_cut;
+        if (in_variant && idx < spans.size() &&
+            spans[idx].second <= cursor) {
+          ++idx;
+        }
+      }
+    };
+
+    for (const auto& [pos, change] : d) {
+      process_segment(segment_start, std::min(pos, contig_len), depth);
+      depth += change;
+      segment_start = pos;
+    }
+    close_block();
+  }
+  return blocks;
+}
+
+std::string write_gvcf(const VcfHeader& header,
+                       std::span<const VcfRecord> variants,
+                       std::span<const GvcfBlock> blocks,
+                       const Reference& reference) {
+  std::string out = "##fileformat=VCFv4.2\n";
+  out += "##ALT=<ID=NON_REF,Description=\"Represents any possible "
+         "alternative allele\">\n";
+  out += "##INFO=<ID=END,Number=1,Type=Integer,Description=\"Stop position "
+         "of the interval\">\n";
+  for (const auto& c : header.contigs) {
+    out += "##contig=<ID=" + c.name + ",length=" + std::to_string(c.length) +
+           ">\n";
+  }
+  out += "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t" +
+         header.sample_name + '\n';
+
+  // Merge-sort variants and blocks by coordinate.
+  std::size_t vi = 0, bi = 0;
+  auto block_before_variant = [&]() {
+    if (bi >= blocks.size()) return false;
+    if (vi >= variants.size()) return true;
+    const auto& b = blocks[bi];
+    const auto& v = variants[vi];
+    if (b.contig_id != v.contig_id) return b.contig_id < v.contig_id;
+    return b.start < v.pos;
+  };
+  char line[256];
+  while (vi < variants.size() || bi < blocks.size()) {
+    if (block_before_variant()) {
+      const auto& b = blocks[bi++];
+      const std::string_view ref_base =
+          reference.slice(b.contig_id, b.start, 1);
+      std::snprintf(line, sizeof line,
+                    "%s\t%lld\t.\t%c\t<NON_REF>\t.\tPASS\tEND=%lld\t"
+                    "GT:DP:GQ\t0/0:%d:%d\n",
+                    header.contigs.at(b.contig_id).name.c_str(),
+                    static_cast<long long>(b.start + 1),
+                    ref_base.empty() ? 'N' : ref_base[0],
+                    static_cast<long long>(b.end), b.min_depth, b.gq);
+      out += line;
+    } else {
+      const auto& v = variants[vi++];
+      std::snprintf(line, sizeof line,
+                    "%s\t%lld\t.\t%s\t%s\t%.2f\tPASS\t.\tGT\t%s\n",
+                    header.contigs.at(v.contig_id).name.c_str(),
+                    static_cast<long long>(v.pos + 1), v.ref.c_str(),
+                    v.alt.c_str(), v.qual,
+                    v.genotype == Genotype::kHomAlt ? "1/1" : "0/1");
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpf::caller

@@ -1,0 +1,59 @@
+// gVCF support: reference-confidence blocks between variant sites, the
+// output mode behind the paper API's `useGVCF` flag
+// (HaplotypeCallerProcess(..., useGVCF)).
+//
+// A gVCF records, for every covered non-variant region, a block stating
+// "confidently homozygous-reference here" with a genotype quality derived
+// from depth.  Blocks are banded by GQ (GATK's standard 3-band layout) so
+// adjacent positions with similar confidence merge into one row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "formats/fasta.hpp"
+#include "formats/sam.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf::caller {
+
+/// One homozygous-reference confidence block: [start, end).
+struct GvcfBlock {
+  std::int32_t contig_id = -1;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  /// Minimum depth observed across the block.
+  std::int32_t min_depth = 0;
+  /// Banded genotype quality (block-wide minimum).
+  std::int32_t gq = 0;
+
+  bool operator==(const GvcfBlock&) const = default;
+};
+
+struct GvcfOptions {
+  /// GQ band boundaries (GATK defaults: [1,20), [20,60), [60,99]).
+  std::vector<std::int32_t> gq_bands = {1, 20, 60};
+  /// Positions with zero depth produce no block.
+  std::int32_t min_depth = 1;
+  /// GQ per supporting read (diploid hom-ref likelihood gain).
+  double gq_per_read = 3.0;
+};
+
+/// Derives reference blocks from coordinate-sorted records, skipping
+/// positions covered by `variants`.  Depth is computed from the aligned
+/// spans of primary, non-duplicate records.
+std::vector<GvcfBlock> reference_blocks(
+    std::span<const SamRecord> sorted_records,
+    std::span<const VcfRecord> variants, const Reference& reference,
+    const GvcfOptions& options = {});
+
+/// Renders a gVCF text document: variant rows interleaved with
+/// <NON_REF> block rows (END= in INFO), both coordinate sorted.
+std::string write_gvcf(const VcfHeader& header,
+                       std::span<const VcfRecord> variants,
+                       std::span<const GvcfBlock> blocks,
+                       const Reference& reference);
+
+}  // namespace gpf::caller

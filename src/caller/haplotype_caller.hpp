@@ -1,0 +1,57 @@
+// End-to-end HaplotypeCaller: active regions -> assembly -> pair-HMM ->
+// genotyping -> VCF records.  This is the algorithm behind the paper's
+// HaplotypeCallerProcess; the GPF core layer parallelizes it by calling
+// `call_region` per partition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "caller/active_region.hpp"
+#include "caller/assembler.hpp"
+#include "caller/genotyper.hpp"
+#include "caller/pairhmm.hpp"
+#include "formats/bed.hpp"
+#include "formats/fasta.hpp"
+#include "formats/sam.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf::caller {
+
+struct CallerOptions {
+  ActiveRegionOptions active_region;
+  AssemblerOptions assembler;
+  PairHmmOptions pairhmm;
+  GenotyperOptions genotyper;
+  /// Reads beyond this many per region are downsampled (GATK's safeguard
+  /// against the 10,000x pileups the paper mentions).
+  std::size_t max_reads_per_region = 512;
+  /// When set, only active regions overlapping these target intervals are
+  /// assembled and called (the WES / gene-panel mode: -L in GATK terms).
+  /// Not owned; must outlive the call.
+  const IntervalSet* targets = nullptr;
+};
+
+struct CallStats {
+  std::size_t regions = 0;
+  std::size_t assembled_regions = 0;
+  std::size_t reads_processed = 0;
+  std::size_t variants_emitted = 0;
+};
+
+/// Calls variants in one active region.
+std::vector<VcfRecord> call_region(const ActiveRegion& region,
+                                   std::span<const SamRecord> records,
+                                   const Reference& reference,
+                                   const CallerOptions& options,
+                                   CallStats* stats = nullptr);
+
+/// Whole-batch driver: detects active regions over coordinate-sorted
+/// records and calls each.  Single-threaded; distribution happens above.
+std::vector<VcfRecord> call_variants(std::span<const SamRecord> sorted_records,
+                                     const Reference& reference,
+                                     const CallerOptions& options = {},
+                                     CallStats* stats = nullptr);
+
+}  // namespace gpf::caller

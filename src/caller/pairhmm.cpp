@@ -1,0 +1,85 @@
+#include "caller/pairhmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gpf::caller {
+namespace {
+
+double error_prob(char qual_char) {
+  const int q = std::max(1, qual_char - 33);
+  return std::pow(10.0, -q / 10.0);
+}
+
+constexpr double kScaleThreshold = 1e-200;
+constexpr double kScaleFactor = 1e200;
+
+}  // namespace
+
+PairHmm::PairHmm(PairHmmOptions options) : options_(options) {}
+
+double PairHmm::log10_likelihood(std::string_view read,
+                                 std::string_view quality,
+                                 std::string_view haplotype) {
+  if (read.size() != quality.size()) {
+    throw std::invalid_argument("pairhmm: read/quality length mismatch");
+  }
+  if (read.empty() || haplotype.empty()) return -300.0;
+
+  const std::size_t n = haplotype.size();
+  for (auto& row : m_) row.assign(n + 1, 0.0);
+  for (auto& row : x_) row.assign(n + 1, 0.0);
+  for (auto& row : y_) row.assign(n + 1, 0.0);
+
+  // Transition probabilities.
+  const double mm = 1.0 - 2.0 * options_.gap_open;
+  const double gm = 1.0 - options_.gap_extend;
+  const double go = options_.gap_open;
+  const double ge = options_.gap_extend;
+
+  // Free start anywhere along the haplotype: initial mass in the D (Y)
+  // state spread uniformly.
+  const double init = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j <= n; ++j) y_[0][j] = init;
+
+  double log10_scale = 0.0;
+  int cur = 0;
+  for (std::size_t i = 1; i <= read.size(); ++i) {
+    const int prev = cur;
+    cur ^= 1;
+    const char rb = read[i - 1];
+    const double e = error_prob(quality[i - 1]);
+    m_[cur][0] = 0.0;
+    x_[cur][0] = 0.0;
+    y_[cur][0] = 0.0;
+    double row_max = 0.0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const char hb = haplotype[j - 1];
+      const double emit =
+          (rb == 'N' || hb == 'N') ? 0.25 : (rb == hb ? 1.0 - e : e / 3.0);
+      m_[cur][j] = emit * (mm * m_[prev][j - 1] + gm * x_[prev][j - 1] +
+                           gm * y_[prev][j - 1]);
+      x_[cur][j] = go * m_[prev][j] + ge * x_[prev][j];
+      y_[cur][j] = go * m_[cur][j - 1] + ge * y_[cur][j - 1];
+      row_max = std::max({row_max, m_[cur][j], x_[cur][j], y_[cur][j]});
+    }
+    if (row_max > 0.0 && row_max < kScaleThreshold) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        m_[cur][j] *= kScaleFactor;
+        x_[cur][j] *= kScaleFactor;
+        y_[cur][j] *= kScaleFactor;
+      }
+      log10_scale -= std::log10(kScaleFactor);
+    }
+    if (row_max == 0.0) return -300.0;  // underflow: effectively impossible
+  }
+
+  // Free end anywhere along the haplotype.
+  double total = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) total += m_[cur][j] + x_[cur][j];
+  if (total <= 0.0) return -300.0;
+  return std::log10(total) + log10_scale;
+}
+
+}  // namespace gpf::caller

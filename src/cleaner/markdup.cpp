@@ -1,0 +1,102 @@
+#include "cleaner/markdup.hpp"
+
+#include <unordered_map>
+
+namespace gpf::cleaner {
+namespace {
+
+struct SignatureHash {
+  std::size_t operator()(const FragmentSignature& s) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mixin = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mixin(static_cast<std::uint64_t>(s.contig_id));
+    mixin(static_cast<std::uint64_t>(s.unclipped_start));
+    mixin(s.reverse ? 1 : 0);
+    mixin(static_cast<std::uint64_t>(s.mate_contig_id));
+    mixin(static_cast<std::uint64_t>(s.mate_pos));
+    mixin(s.mate_reverse ? 2 : 0);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+FragmentSignature fragment_signature(const SamRecord& record) {
+  FragmentSignature sig;
+  sig.contig_id = record.contig_id;
+  sig.unclipped_start = record.unclipped_start();
+  sig.reverse = record.is_reverse();
+  if (record.is_paired() && !(record.flag & SamFlags::kMateUnmapped)) {
+    sig.mate_contig_id = record.mate_contig_id;
+    sig.mate_pos = record.mate_pos;
+    sig.mate_reverse = (record.flag & SamFlags::kMateReverse) != 0;
+  }
+  // Canonicalize so both mates of a pair produce the same signature: order
+  // the two (contig, pos, strand) endpoints.
+  const bool swap =
+      sig.mate_contig_id >= 0 &&
+      (sig.mate_contig_id < sig.contig_id ||
+       (sig.mate_contig_id == sig.contig_id &&
+        sig.mate_pos < sig.unclipped_start));
+  if (swap) {
+    std::swap(sig.contig_id, sig.mate_contig_id);
+    std::swap(sig.unclipped_start, sig.mate_pos);
+    std::swap(sig.reverse, sig.mate_reverse);
+  }
+  return sig;
+}
+
+std::int64_t base_quality_score(const SamRecord& record) {
+  std::int64_t score = 0;
+  for (const char q : record.quality) {
+    const int phred = q - 33;
+    if (phred >= 15) score += phred;  // Picard counts qualities >= 15
+  }
+  return score;
+}
+
+MarkDuplicatesStats mark_duplicates(std::vector<SamRecord>& records) {
+  MarkDuplicatesStats stats;
+  stats.records = records.size();
+
+  // Group record indices by signature, remembering the best representative.
+  struct Group {
+    std::vector<std::size_t> members;
+    std::size_t best_index = 0;
+    std::int64_t best_score = -1;
+  };
+  std::unordered_map<FragmentSignature, Group, SignatureHash> groups;
+  groups.reserve(records.size());
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto& rec = records[i];
+    rec.flag &= static_cast<std::uint16_t>(~SamFlags::kDuplicate);
+    if (rec.is_unmapped() || rec.is_secondary()) continue;
+    Group& g = groups[fragment_signature(rec)];
+    g.members.push_back(i);
+    const std::int64_t score = base_quality_score(rec);
+    if (score > g.best_score) {
+      g.best_score = score;
+      g.best_index = i;
+    }
+  }
+
+  stats.signature_groups = groups.size();
+  for (const auto& [sig, g] : groups) {
+    // Pairs contribute two records per fragment; keep both records of the
+    // best fragment.  Our representative selection is per-record: keep the
+    // best-scoring record and its mate (same qname).
+    const std::string& keep_name = records[g.best_index].qname;
+    for (const std::size_t i : g.members) {
+      if (records[i].qname == keep_name) continue;
+      records[i].flag |= SamFlags::kDuplicate;
+      ++stats.duplicates_marked;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gpf::cleaner

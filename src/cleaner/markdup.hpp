@@ -1,0 +1,53 @@
+// Duplicate marking (Picard MarkDuplicates algorithm): reads sharing the
+// same library signature — unclipped 5' positions and orientations of both
+// fragment ends — are PCR/optical duplicates; the highest-base-quality
+// representative stays, the rest get FLAG 0x400.
+//
+// This is the paper's first Cleaner application ("marks reads with
+// identical position and orientation").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/sam.hpp"
+
+namespace gpf::cleaner {
+
+struct MarkDuplicatesStats {
+  std::size_t records = 0;
+  std::size_t duplicates_marked = 0;
+  std::size_t signature_groups = 0;
+
+  double duplicate_fraction() const {
+    return records == 0
+               ? 0.0
+               : static_cast<double>(duplicates_marked) /
+                     static_cast<double>(records);
+  }
+};
+
+/// Marks duplicates in place.  Works on any subset of records that is
+/// closed under signature groups (i.e. all reads with the same fragment
+/// signature are in the same call) — the GPF pipeline guarantees this by
+/// partitioning on position.
+MarkDuplicatesStats mark_duplicates(std::vector<SamRecord>& records);
+
+/// The signature key used for grouping; exposed for the partitioner (reads
+/// must be routed so equal signatures land in one partition) and tests.
+struct FragmentSignature {
+  std::int32_t contig_id = -1;
+  std::int64_t unclipped_start = -1;
+  bool reverse = false;
+  std::int32_t mate_contig_id = -1;
+  std::int64_t mate_pos = -1;
+  bool mate_reverse = false;
+
+  bool operator==(const FragmentSignature&) const = default;
+};
+FragmentSignature fragment_signature(const SamRecord& record);
+
+/// Total base quality, Picard's representative-selection score.
+std::int64_t base_quality_score(const SamRecord& record);
+
+}  // namespace gpf::cleaner

@@ -1,0 +1,76 @@
+#include "common/histogram.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpf {
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [k, c] : counts_) t += c;
+  return t;
+}
+
+std::uint64_t Histogram::count(std::int64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t key) const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(t);
+}
+
+std::int64_t Histogram::min_key() const {
+  if (counts_.empty()) throw std::logic_error("empty histogram");
+  return counts_.begin()->first;
+}
+
+std::int64_t Histogram::max_key() const {
+  if (counts_.empty()) throw std::logic_error("empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [k, c] : counts_) {
+    sum += static_cast<double>(k) * static_cast<double>(c);
+  }
+  return sum / static_cast<double>(t);
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (counts_.empty()) throw std::logic_error("empty histogram");
+  const std::uint64_t t = total();
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(t));
+  std::uint64_t seen = 0;
+  for (const auto& [k, c] : counts_) {
+    seen += c;
+    if (seen >= target) return k;
+  }
+  return counts_.rbegin()->first;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [k, c] : other.counts_) counts_[k] += c;
+}
+
+std::string Histogram::to_tsv(std::int64_t lo, std::int64_t hi) const {
+  std::string out;
+  const std::uint64_t t = total();
+  for (std::int64_t k = lo; k <= hi; ++k) {
+    const double pct =
+        t == 0 ? 0.0
+               : 100.0 * static_cast<double>(count(k)) / static_cast<double>(t);
+    char line[64];
+    std::snprintf(line, sizeof line, "%lld\t%.3f\n",
+                  static_cast<long long>(k), pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gpf

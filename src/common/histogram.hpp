@@ -1,0 +1,52 @@
+// Integer-keyed histogram used for quality-score distributions (paper
+// Fig 5), coverage-depth profiles, and simulator timelines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+/// Sparse histogram over signed integer keys.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t count = 1) {
+    counts_[key] += count;
+  }
+
+  std::uint64_t total() const;
+  std::uint64_t count(std::int64_t key) const;
+
+  /// Fraction of mass at `key`, in [0,1]; 0 when the histogram is empty.
+  double fraction(std::int64_t key) const;
+
+  /// Smallest/largest key with non-zero count.  Histogram must be
+  /// non-empty.
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+
+  double mean() const;
+
+  /// p in [0,1]; returns the smallest key whose CDF reaches p.
+  std::int64_t percentile(double p) const;
+
+  bool empty() const { return counts_.empty(); }
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return counts_;
+  }
+
+  /// Merges another histogram into this one (used when reducing per-worker
+  /// histograms).
+  void merge(const Histogram& other);
+
+  /// Renders "key<TAB>percent" lines for keys in [lo, hi], matching the
+  /// series format of the paper's distribution figures.
+  std::string to_tsv(std::int64_t lo, std::int64_t hi) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+};
+
+}  // namespace gpf

@@ -1,0 +1,25 @@
+// Minimal leveled logger.  The engine logs stage boundaries at Info; tests
+// and benches run at Warn by default to keep output parseable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gpf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log statement.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define GPF_DEBUG(...) ::gpf::log(::gpf::LogLevel::kDebug, __VA_ARGS__)
+#define GPF_INFO(...) ::gpf::log(::gpf::LogLevel::kInfo, __VA_ARGS__)
+#define GPF_WARN(...) ::gpf::log(::gpf::LogLevel::kWarn, __VA_ARGS__)
+#define GPF_ERROR(...) ::gpf::log(::gpf::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace gpf

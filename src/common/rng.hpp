@@ -1,0 +1,104 @@
+// Deterministic, fast pseudo-random generator used throughout the synthetic
+// data generators and simulators.  Experiments must be bit-reproducible
+// across runs and machines, so we pin a specific algorithm (xoshiro256**)
+// instead of relying on std::mt19937's unspecified distribution behaviour
+// for doubles.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gpf {
+
+/// xoshiro256** by Blackman & Vigna: small state, excellent statistical
+/// quality, and a cheap next().  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed via splitmix64,
+  /// which guarantees a non-zero, well-mixed state for any seed value.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via the polar Box-Muller method.
+  double normal() {
+    for (;;) {
+      const double u = 2.0 * uniform() - 1.0;
+      const double v = 2.0 * uniform() - 1.0;
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace gpf

@@ -1,0 +1,72 @@
+// Fixed-size work-stealing-free thread pool used by the execution engine.
+//
+// The engine schedules whole partitions as tasks; tasks are coarse enough
+// that a single shared queue with a condition variable does not become a
+// bottleneck.  The pool is deliberately simple and allocation-light: it is
+// the substrate every other module builds on, so predictability beats
+// cleverness here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpf {
+
+/// A fixed-size pool of worker threads executing submitted tasks FIFO.
+///
+/// Thread-safe: submit() may be called concurrently from any thread,
+/// including from inside a task (tasks must not block on tasks that cannot
+/// be scheduled, but the engine only submits leaf work so this cannot
+/// deadlock).
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (defaults to hardware
+  /// concurrency, minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// iterations complete.  Iterations are distributed in contiguous blocks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Global pool shared by code that does not need a private one.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gpf

@@ -1,0 +1,38 @@
+#include "common/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpf {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof buf, "%dm%04.1fs", minutes,
+                  seconds - 60.0 * minutes);
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fGB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fMB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace gpf

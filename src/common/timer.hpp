@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by the engine's metrics layer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gpf {
+
+/// Monotonic stopwatch; resolution is the steady clock's.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(seconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as "12m34.5s" / "3.21s" / "45ms".
+std::string format_duration(double seconds);
+
+/// Formats a byte count as "1.5GB" / "322MB" / "17KB".
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace gpf

@@ -1,0 +1,109 @@
+// Bit-granular I/O on top of byte buffers, used by the Huffman and 2-bit
+// codecs.  Bits are packed MSB-first within each byte.  Both directions
+// run through a 64-bit accumulator so multi-bit writes/reads cost O(1)
+// amortized rather than a loop per bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gpf {
+
+/// Appends bits MSB-first; finish() pads the final byte with zeros.
+class BitWriter {
+ public:
+  void bit(bool b) { bits(b ? 1u : 0u, 1); }
+
+  /// Writes the low `count` bits of `value`, most significant first.
+  /// `count` must be <= 32.
+  void bits(std::uint32_t value, int count) {
+    acc_ = (acc_ << count) | (static_cast<std::uint64_t>(value) &
+                              ((count == 32 ? 0xffffffffULL
+                                            : ((1ULL << count) - 1))));
+    nbits_ += count;
+    while (nbits_ >= 8) {
+      nbits_ -= 8;
+      buf_.push_back(static_cast<std::uint8_t>(acc_ >> nbits_));
+    }
+  }
+
+  /// Pads to a byte boundary and returns the buffer.
+  std::vector<std::uint8_t> finish() {
+    if (nbits_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_ << (8 - nbits_)));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+  /// Bits written so far.
+  std::size_t bit_count() const {
+    return buf_.size() * 8 + static_cast<std::size_t>(nbits_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Reads bits MSB-first; throws std::out_of_range past the end.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool bit() { return bits(1) != 0; }
+
+  std::uint32_t bits(int count) {
+    fill(count);
+    if (nbits_ < count) throw std::out_of_range("BitReader: past end");
+    nbits_ -= count;
+    const std::uint64_t mask =
+        count == 32 ? 0xffffffffULL : ((1ULL << count) - 1);
+    return static_cast<std::uint32_t>((acc_ >> nbits_) & mask);
+  }
+
+  /// Returns up to `count` bits without consuming them, left-aligned to
+  /// `count` (missing trailing bits read as zero — callers must bound how
+  /// many they rely on via bits_left()).
+  std::uint32_t peek(int count) {
+    fill(count);
+    const int have = std::min(count, nbits_);
+    const std::uint64_t mask =
+        count == 32 ? 0xffffffffULL : ((1ULL << count) - 1);
+    return static_cast<std::uint32_t>(
+        ((acc_ << (count - have)) >> (nbits_ - have)) & mask);
+  }
+
+  /// Consumes `count` bits previously peeked.
+  void skip(int count) {
+    if (nbits_ < count) throw std::out_of_range("BitReader: past end");
+    nbits_ -= count;
+  }
+
+  /// Bits remaining in the stream.
+  std::size_t bits_left() const {
+    return (data_.size() - pos_) * 8 + static_cast<std::size_t>(nbits_);
+  }
+
+  std::size_t position() const { return pos_ * 8 - nbits_; }
+
+ private:
+  void fill(int want) {
+    while (nbits_ < want && pos_ < data_.size() && nbits_ <= 56) {
+      acc_ = (acc_ << 8) | data_[pos_++];
+      nbits_ += 8;
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace gpf

@@ -1,0 +1,123 @@
+#include "compress/gbam.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace gpf {
+namespace {
+
+constexpr char kMagic[5] = {'G', 'B', 'A', 'M', '1'};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_gbam(const SamHeader& header,
+                                     std::span<const SamRecord> records,
+                                     const GbamWriteOptions& options) {
+  if (options.block_records == 0) {
+    throw std::invalid_argument("gbam: block_records must be positive");
+  }
+  ByteWriter w;
+  w.raw(std::span(reinterpret_cast<const std::uint8_t*>(kMagic),
+                  sizeof kMagic));
+  w.u8(static_cast<std::uint8_t>(options.codec));
+  w.u8(header.coordinate_sorted ? 1 : 0);
+  w.uvarint(header.contigs.size());
+  for (const auto& c : header.contigs) {
+    w.str(c.name);
+    w.uvarint(static_cast<std::uint64_t>(c.length));
+  }
+  const std::size_t blocks =
+      (records.size() + options.block_records - 1) / options.block_records;
+  w.uvarint(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * options.block_records;
+    const std::size_t hi =
+        std::min(records.size(), lo + options.block_records);
+    const auto payload =
+        encode_sam_batch(records.subspan(lo, hi - lo), options.codec);
+    w.uvarint(hi - lo);
+    w.uvarint(payload.size());
+    w.raw(std::span(payload.data(), payload.size()));
+  }
+  return w.take();
+}
+
+GbamReader::GbamReader(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.raw(sizeof kMagic);
+  if (std::memcmp(magic.data(), kMagic, sizeof kMagic) != 0) {
+    throw std::invalid_argument("gbam: bad magic");
+  }
+  codec_ = static_cast<Codec>(r.u8());
+  header_.coordinate_sorted = r.u8() != 0;
+  const std::uint64_t contigs = r.uvarint();
+  for (std::uint64_t i = 0; i < contigs; ++i) {
+    SamHeader::ContigInfo info;
+    info.name = r.str();
+    info.length = static_cast<std::int64_t>(r.uvarint());
+    header_.contigs.push_back(std::move(info));
+  }
+  const std::uint64_t blocks = r.uvarint();
+  blocks_.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    BlockRef ref;
+    ref.record_count = r.uvarint();
+    const std::size_t payload_size = r.uvarint();
+    ref.payload = r.raw(payload_size);
+    blocks_.push_back(ref);
+  }
+  if (!r.done()) throw std::invalid_argument("gbam: trailing bytes");
+}
+
+std::size_t GbamReader::record_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b.record_count;
+  return n;
+}
+
+std::vector<SamRecord> GbamReader::read_block(std::size_t index) const {
+  const auto& block = blocks_.at(index);
+  auto records = decode_sam_batch(block.payload, codec_);
+  if (records.size() != block.record_count) {
+    throw std::runtime_error("gbam: block record count mismatch");
+  }
+  return records;
+}
+
+SamFile read_gbam(std::span<const std::uint8_t> bytes) {
+  const GbamReader reader(bytes);
+  SamFile file;
+  file.header = reader.header();
+  file.records.reserve(reader.record_count());
+  for (std::size_t b = 0; b < reader.block_count(); ++b) {
+    auto block = reader.read_block(b);
+    file.records.insert(file.records.end(),
+                        std::make_move_iterator(block.begin()),
+                        std::make_move_iterator(block.end()));
+  }
+  return file;
+}
+
+void save_gbam_file(const std::string& path, const SamHeader& header,
+                    std::span<const SamRecord> records,
+                    const GbamWriteOptions& options) {
+  const auto bytes = write_gbam(header, records, options);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+SamFile load_gbam_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return read_gbam(bytes);
+}
+
+}  // namespace gpf

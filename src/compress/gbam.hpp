@@ -1,0 +1,78 @@
+// GBAM: a BAM-like binary alignment container (lives in compress/ because
+// it is an application of the record codecs).
+//
+// The paper's pipelines read and write SAM/BAM files at their boundaries
+// (Fig 1's storage subsystem).  GBAM is this library's block-structured
+// binary equivalent: a header with the contig dictionary followed by
+// independently-decodable record blocks, each serialized with one of the
+// record codecs (the GPF codec by default, so a GBAM file enjoys the
+// same 2-bit/delta-Huffman compression as in-memory partitions).
+// Blocks are independently decodable so a distributed reader can assign
+// block ranges to tasks, the property BAM's BGZF blocking exists for.
+//
+// Layout (little endian):
+//   magic "GBAM1"            5 bytes
+//   codec                    u8
+//   coordinate_sorted        u8
+//   contig_count             uvarint
+//     per contig: name (str) length (uvarint)
+//   block_count              uvarint
+//     per block: record_count (uvarint), payload_size (uvarint),
+//                payload bytes (encode_sam_batch output)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/record_codec.hpp"
+#include "formats/sam.hpp"
+
+namespace gpf {
+
+struct GbamWriteOptions {
+  Codec codec = Codec::kGpf;
+  /// Records per block; blocks are the unit of distributed reading.
+  std::size_t block_records = 4096;
+};
+
+/// Serializes header + records into a GBAM byte buffer.
+std::vector<std::uint8_t> write_gbam(const SamHeader& header,
+                                     std::span<const SamRecord> records,
+                                     const GbamWriteOptions& options = {});
+
+/// Parses an entire GBAM buffer.
+SamFile read_gbam(std::span<const std::uint8_t> bytes);
+
+/// Block-granular access for distributed readers.
+class GbamReader {
+ public:
+  explicit GbamReader(std::span<const std::uint8_t> bytes);
+
+  const SamHeader& header() const { return header_; }
+  Codec codec() const { return codec_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t record_count() const;
+
+  /// Decodes one block.
+  std::vector<SamRecord> read_block(std::size_t index) const;
+
+ private:
+  struct BlockRef {
+    std::size_t record_count;
+    std::span<const std::uint8_t> payload;
+  };
+
+  SamHeader header_;
+  Codec codec_ = Codec::kGpf;
+  std::vector<BlockRef> blocks_;
+};
+
+/// File helpers.
+void save_gbam_file(const std::string& path, const SamHeader& header,
+                    std::span<const SamRecord> records,
+                    const GbamWriteOptions& options = {});
+SamFile load_gbam_file(const std::string& path);
+
+}  // namespace gpf

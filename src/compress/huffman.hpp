@@ -1,0 +1,78 @@
+// Canonical Huffman coding over a small integer alphabet with an explicit
+// end-of-stream symbol, as used by the paper's quality-field compressor
+// ("compress the delta sequence using Huffman coding with the end symbol of
+// EOF", Fig 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.hpp"
+
+namespace gpf {
+
+/// Huffman coder for symbols in [0, alphabet_size).  Code lengths are
+/// capped at 32 bits, which is unreachable for the byte-sized alphabets we
+/// use.  The table itself is serializable (code lengths only — canonical
+/// codes are reconstructed), so an encoded block is self-describing.
+class HuffmanCoder {
+ public:
+  /// Builds codes from symbol frequencies; zero-frequency symbols get no
+  /// code.  At least one symbol must have non-zero frequency.
+  static HuffmanCoder from_frequencies(
+      std::span<const std::uint64_t> frequencies);
+
+  /// Reconstructs a coder from serialized code lengths.
+  static HuffmanCoder from_code_lengths(
+      std::span<const std::uint8_t> lengths);
+
+  /// Per-symbol code length in bits (0 = symbol has no code).
+  const std::vector<std::uint8_t>& code_lengths() const { return lengths_; }
+
+  /// Appends the code for `symbol` to `out`.  Symbol must have a code.
+  void encode(std::uint32_t symbol, BitWriter& out) const {
+    const std::uint8_t len = lengths_[symbol];
+    if (len == 0) throw std::invalid_argument("Huffman: symbol has no code");
+    out.bits(codes_[symbol], len);
+  }
+
+  /// Decodes one symbol from `in`.  Short codes (the common case) resolve
+  /// through a single prefix-table lookup.
+  std::uint32_t decode(BitReader& in) const {
+    const std::uint32_t window = in.peek(kTableBits);
+    const TableEntry entry = table_[window];
+    if (entry.length != 0) {
+      in.skip(entry.length);
+      return entry.symbol;
+    }
+    return decode_long(in);
+  }
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  static constexpr int kTableBits = 11;
+
+  struct TableEntry {
+    std::uint16_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = code longer than kTableBits
+  };
+
+  HuffmanCoder() = default;
+  void build_canonical();
+  std::uint32_t decode_long(BitReader& in) const;
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;  // canonical code per symbol
+  // Canonical decode metadata per code length (1..32): first canonical
+  // code of that length, index of its first symbol in sorted_symbols_.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> count_per_length_;
+  std::vector<std::uint32_t> sorted_symbols_;
+  // Prefix table for codes of length <= kTableBits.
+  std::vector<TableEntry> table_;
+};
+
+}  // namespace gpf

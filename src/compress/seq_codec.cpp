@@ -1,0 +1,79 @@
+#include "compress/seq_codec.hpp"
+
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+/// Paper encoding: A:00 G:01 C:10 T:11.
+constexpr std::uint8_t kA = 0b00;
+constexpr std::uint8_t kG = 0b01;
+constexpr std::uint8_t kC = 0b10;
+constexpr std::uint8_t kT = 0b11;
+
+std::uint8_t base_code(char c) {
+  switch (c) {
+    case 'A':
+      return kA;
+    case 'G':
+      return kG;
+    case 'C':
+      return kC;
+    case 'T':
+      return kT;
+    default:
+      return 0xff;  // special character, caller escapes it
+  }
+}
+
+constexpr char kCodeToBase[4] = {'A', 'G', 'C', 'T'};
+
+/// Quality char restored for escaped bases on decompression ('#' = Phred 2,
+/// Illumina's conventional "no-call" quality).
+constexpr char kRestoredQuality = '#';
+
+}  // namespace
+
+std::size_t packed_size(std::size_t bases) { return (bases + 3) / 4; }
+
+CompressedSequence compress_sequence(std::string_view sequence,
+                                     std::string& quality) {
+  if (quality.size() != sequence.size()) {
+    throw std::invalid_argument("sequence/quality length mismatch");
+  }
+  CompressedSequence out;
+  out.length = static_cast<std::uint32_t>(sequence.size());
+  out.packed.assign(packed_size(sequence.size()), 0);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    std::uint8_t code = base_code(sequence[i]);
+    if (code == 0xff) {
+      // Deorowicz escape: store 'A' and mark via the quality sentinel.
+      code = kA;
+      quality[i] = kEscapeQuality;
+    }
+    out.packed[i >> 2] |= static_cast<std::uint8_t>(code << ((i & 3) * 2));
+  }
+  return out;
+}
+
+std::string decompress_sequence(const CompressedSequence& compressed,
+                                std::string& quality) {
+  if (quality.size() != compressed.length) {
+    throw std::invalid_argument("quality length mismatch on decompress");
+  }
+  std::string seq(compressed.length, 'A');
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const std::uint8_t code =
+        (compressed.packed.at(i >> 2) >> ((i & 3) * 2)) & 0b11;
+    if (quality[i] == kEscapeQuality) {
+      // An escaped special base: the stored code is 'A' by construction.
+      seq[i] = 'N';
+      quality[i] = kRestoredQuality;
+    } else {
+      seq[i] = kCodeToBase[code];
+    }
+  }
+  return seq;
+}
+
+}  // namespace gpf

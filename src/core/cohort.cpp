@@ -1,0 +1,84 @@
+#include "core/cohort.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace gpf::core {
+
+CohortResult run_cohort(engine::Engine& engine, const Reference& reference,
+                        std::vector<SampleInput> samples,
+                        std::vector<VcfRecord> known_sites,
+                        const PipelineConfig& config) {
+  CohortResult result;
+  std::vector<std::vector<VcfRecord>> calls;
+  for (auto& sample : samples) {
+    GPF_INFO("cohort: running sample %s (%zu pairs)", sample.name.c_str(),
+             sample.pairs.size());
+    result.sample_names.push_back(sample.name);
+    result.per_sample.push_back(run_wgs_pipeline(engine, reference,
+                                                 std::move(sample.pairs),
+                                                 known_sites, config));
+    calls.push_back(result.per_sample.back().variants);
+  }
+  result.sites = merge_call_sets(calls);
+  return result;
+}
+
+std::vector<CohortSite> merge_call_sets(
+    const std::vector<std::vector<VcfRecord>>& per_sample_calls) {
+  const std::size_t n = per_sample_calls.size();
+  // Site key -> cohort row.
+  std::map<std::tuple<std::int32_t, std::int64_t, std::string, std::string>,
+           CohortSite>
+      sites;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& v : per_sample_calls[s]) {
+      auto& site = sites[{v.contig_id, v.pos, v.ref, v.alt}];
+      if (site.genotypes.empty()) {
+        site.contig_id = v.contig_id;
+        site.pos = v.pos;
+        site.ref = v.ref;
+        site.alt = v.alt;
+        site.genotypes.assign(n, Genotype::kHomRef);
+      }
+      site.genotypes[s] = v.genotype;
+      site.qual = std::max(site.qual, v.qual);
+    }
+  }
+  std::vector<CohortSite> out;
+  out.reserve(sites.size());
+  for (auto& [key, site] : sites) out.push_back(std::move(site));
+  return out;  // map order == coordinate order
+}
+
+std::string write_cohort_vcf(const VcfHeader& header,
+                             const std::vector<std::string>& sample_names,
+                             const std::vector<CohortSite>& sites) {
+  std::string out = "##fileformat=VCFv4.2\n";
+  for (const auto& c : header.contigs) {
+    out += "##contig=<ID=" + c.name + ",length=" + std::to_string(c.length) +
+           ">\n";
+  }
+  out += "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT";
+  for (const auto& name : sample_names) out += '\t' + name;
+  out += '\n';
+  for (const auto& site : sites) {
+    char qual[32];
+    std::snprintf(qual, sizeof qual, "%.2f", site.qual);
+    out += header.contigs.at(site.contig_id).name;
+    out += '\t' + std::to_string(site.pos + 1) + "\t.\t" + site.ref + '\t' +
+           site.alt + '\t' + qual + "\tPASS\t.\tGT";
+    for (const auto g : site.genotypes) {
+      out += g == Genotype::kHomAlt ? "\t1/1"
+             : g == Genotype::kHet  ? "\t0/1"
+                                    : "\t0/0";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gpf::core

@@ -1,0 +1,61 @@
+// Multi-sample (cohort) analysis: the operating mode behind the paper's
+// Table 1 motivation experiment (1..30 samples processed concurrently)
+// and the standard clinical workflow of per-sample calling followed by a
+// cohort merge.
+//
+// Each sample runs through the full GPF WGS pipeline against the shared
+// reference (the FM index and known-sites data are built once, like a
+// broadcast variable); per-sample call sets are then merged into one
+// cohort VCF with per-sample genotype columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wgs_pipeline.hpp"
+
+namespace gpf::core {
+
+struct SampleInput {
+  std::string name;
+  std::vector<FastqPair> pairs;
+};
+
+/// One row of the merged cohort call set: a site plus per-sample
+/// genotypes (index-aligned with CohortResult::sample_names).
+struct CohortSite {
+  std::int32_t contig_id = -1;
+  std::int64_t pos = -1;
+  std::string ref;
+  std::string alt;
+  /// Maximum QUAL across carrying samples.
+  double qual = 0.0;
+  std::vector<Genotype> genotypes;  // kHomRef when absent from a sample
+
+  bool operator==(const CohortSite&) const = default;
+};
+
+struct CohortResult {
+  std::vector<std::string> sample_names;
+  std::vector<WgsResult> per_sample;
+  std::vector<CohortSite> sites;
+};
+
+/// Runs every sample through the WGS pipeline and merges the call sets.
+CohortResult run_cohort(engine::Engine& engine, const Reference& reference,
+                        std::vector<SampleInput> samples,
+                        std::vector<VcfRecord> known_sites,
+                        const PipelineConfig& config = {});
+
+/// Merges already-called per-sample VCFs into cohort sites (site union;
+/// samples without a call at a site are hom-ref).  Exposed for tests and
+/// incremental workflows.
+std::vector<CohortSite> merge_call_sets(
+    const std::vector<std::vector<VcfRecord>>& per_sample_calls);
+
+/// Renders the cohort as multi-sample VCF text.
+std::string write_cohort_vcf(const VcfHeader& header,
+                             const std::vector<std::string>& sample_names,
+                             const std::vector<CohortSite>& sites);
+
+}  // namespace gpf::core

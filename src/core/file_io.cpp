@@ -1,0 +1,80 @@
+#include "core/file_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gpf::core {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<FastqRecord> load_fastq_file(const std::string& path) {
+  return parse_fastq(read_file(path));
+}
+
+std::vector<FastqPair> load_fastq_pair_files(const std::string& path1,
+                                             const std::string& path2) {
+  return zip_pairs(load_fastq_file(path1), load_fastq_file(path2));
+}
+
+void save_fastq_file(const std::string& path,
+                     const std::vector<FastqRecord>& records) {
+  write_file(path, write_fastq(records));
+}
+
+void save_fastq_pair_files(const std::string& path1,
+                           const std::string& path2,
+                           const std::vector<FastqPair>& pairs) {
+  std::vector<FastqRecord> first, second;
+  first.reserve(pairs.size());
+  second.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    first.push_back(p.first);
+    second.push_back(p.second);
+  }
+  save_fastq_file(path1, first);
+  save_fastq_file(path2, second);
+}
+
+Reference load_fasta_file(const std::string& path) {
+  return parse_fasta(read_file(path));
+}
+
+void save_fasta_file(const std::string& path, const Reference& reference) {
+  write_file(path, write_fasta(reference));
+}
+
+SamFile load_sam_file(const std::string& path) {
+  return parse_sam(read_file(path));
+}
+
+void save_sam_file(const std::string& path, const SamHeader& header,
+                   const std::vector<SamRecord>& records) {
+  write_file(path, write_sam(header, records));
+}
+
+VcfFile load_vcf_file(const std::string& path) {
+  return parse_vcf(read_file(path));
+}
+
+void save_vcf_file(const std::string& path, const VcfHeader& header,
+                   const std::vector<VcfRecord>& records) {
+  write_file(path, write_vcf(header, records));
+}
+
+}  // namespace gpf::core

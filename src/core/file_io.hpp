@@ -1,0 +1,54 @@
+// File-backed endpoints — the C++ equivalent of the paper's FileLoader
+// API (Fig 3: `FileLoader.loadFastqPairToRdd(sc, fastqPath1, fastqPath2)`)
+// plus writers for every format, so pipelines can consume and produce
+// real files on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/fasta.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf::core {
+
+/// Reads a whole file into memory; throws std::runtime_error with the
+/// path on failure.
+std::string read_file(const std::string& path);
+/// Writes (truncating); throws std::runtime_error with the path on
+/// failure.
+void write_file(const std::string& path, std::string_view contents);
+
+/// FASTQ ----------------------------------------------------------------
+
+std::vector<FastqRecord> load_fastq_file(const std::string& path);
+/// Paper: loadFastqPairToRdd — zips two mate files into pairs.
+std::vector<FastqPair> load_fastq_pair_files(const std::string& path1,
+                                             const std::string& path2);
+void save_fastq_file(const std::string& path,
+                     const std::vector<FastqRecord>& records);
+/// Splits pairs back into the conventional _1/_2 mate files.
+void save_fastq_pair_files(const std::string& path1,
+                           const std::string& path2,
+                           const std::vector<FastqPair>& pairs);
+
+/// FASTA ----------------------------------------------------------------
+
+Reference load_fasta_file(const std::string& path);
+void save_fasta_file(const std::string& path, const Reference& reference);
+
+/// SAM ------------------------------------------------------------------
+
+SamFile load_sam_file(const std::string& path);
+void save_sam_file(const std::string& path, const SamHeader& header,
+                   const std::vector<SamRecord>& records);
+
+/// VCF ------------------------------------------------------------------
+
+VcfFile load_vcf_file(const std::string& path);
+void save_vcf_file(const std::string& path, const VcfHeader& header,
+                   const std::vector<VcfRecord>& records);
+
+}  // namespace gpf::core

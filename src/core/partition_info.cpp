@@ -1,0 +1,129 @@
+#include "core/partition_info.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpf::core {
+
+PartitionInfo::PartitionInfo(
+    const std::vector<SamHeader::ContigInfo>& contigs,
+    std::int64_t partition_length)
+    : partition_length_(partition_length) {
+  if (partition_length <= 0) {
+    throw std::invalid_argument("partition_length must be positive");
+  }
+  std::uint32_t running = 0;
+  for (const auto& c : contigs) {
+    const auto parts = static_cast<std::uint32_t>(
+        (c.length + partition_length - 1) / partition_length);
+    partitions_per_contig_.push_back(std::max<std::uint32_t>(1, parts));
+    contig_start_id_.push_back(running);
+    contig_lengths_.push_back(c.length);
+    running += partitions_per_contig_.back();
+  }
+  base_count_ = running;
+
+  // Identity split table and base regions.
+  split_table_.assign(base_count_, SplitEntry{});
+  regions_.clear();
+  regions_.reserve(base_count_);
+  for (std::size_t cid = 0; cid < partitions_per_contig_.size(); ++cid) {
+    for (std::uint32_t p = 0; p < partitions_per_contig_[cid]; ++p) {
+      const std::int64_t start = static_cast<std::int64_t>(p) *
+                                 partition_length_;
+      regions_.push_back({static_cast<std::int32_t>(cid), start,
+                          std::min(contig_lengths_[cid],
+                                   start + partition_length_)});
+      split_table_[contig_start_id_[cid] + p].start_id =
+          contig_start_id_[cid] + p;
+    }
+  }
+}
+
+std::uint32_t PartitionInfo::base_partition_of(std::int32_t contig_id,
+                                               std::int64_t pos) const {
+  if (contig_id < 0 ||
+      static_cast<std::size_t>(contig_id) >= contig_start_id_.size()) {
+    throw std::out_of_range("base_partition_of: bad contig id");
+  }
+  const auto cid = static_cast<std::size_t>(contig_id);
+  pos = std::clamp<std::int64_t>(pos, 0, contig_lengths_[cid] - 1);
+  // Paper Fig 8: segment base address + offset.
+  const auto offset = static_cast<std::uint32_t>(pos / partition_length_);
+  return contig_start_id_[cid] +
+         std::min(offset, partitions_per_contig_[cid] - 1);
+}
+
+void PartitionInfo::apply_split(
+    std::span<const std::uint64_t> reads_per_partition,
+    std::uint64_t threshold) {
+  if (reads_per_partition.size() != base_count_) {
+    throw std::invalid_argument("apply_split: count vector size mismatch");
+  }
+  if (threshold == 0) throw std::invalid_argument("apply_split: threshold 0");
+
+  split_table_.assign(base_count_, SplitEntry{});
+  regions_.clear();
+  std::uint32_t next_id = 0;
+  for (std::uint32_t base = 0; base < base_count_; ++base) {
+    const std::uint64_t reads = reads_per_partition[base];
+    const auto splits = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, (reads + threshold - 1) / threshold));
+    split_table_[base] = {splits, next_id};
+    // Carve the base region into `splits` equal sub-ranges.
+    // Recover the base region from the original geometry.
+    std::size_t cid = 0;
+    while (cid + 1 < contig_start_id_.size() &&
+           contig_start_id_[cid + 1] <= base) {
+      ++cid;
+    }
+    const std::uint32_t within = base - contig_start_id_[cid];
+    const std::int64_t base_start =
+        static_cast<std::int64_t>(within) * partition_length_;
+    const std::int64_t base_end =
+        std::min(contig_lengths_[cid], base_start + partition_length_);
+    const std::int64_t base_len = base_end - base_start;
+    const std::int64_t sub_len =
+        std::max<std::int64_t>(1, base_len / splits);
+    for (std::uint32_t s = 0; s < splits; ++s) {
+      const std::int64_t lo = base_start + static_cast<std::int64_t>(s) *
+                                               sub_len;
+      const std::int64_t hi =
+          s + 1 == splits ? base_end : lo + sub_len;
+      regions_.push_back({static_cast<std::int32_t>(cid), lo,
+                          std::min(hi, base_end)});
+    }
+    next_id += splits;
+  }
+  split_applied_ = true;
+}
+
+std::uint32_t PartitionInfo::partition_of(std::int32_t contig_id,
+                                          std::int64_t pos) const {
+  const std::uint32_t base = base_partition_of(contig_id, pos);
+  const SplitEntry& entry = split_table_[base];
+  if (entry.split_count <= 1) return entry.start_id;
+  // Paper Fig 9: length of partition after split, offset in the split.
+  const auto cid = static_cast<std::size_t>(contig_id);
+  const std::uint32_t within = base - contig_start_id_[cid];
+  const std::int64_t base_start =
+      static_cast<std::int64_t>(within) * partition_length_;
+  const std::int64_t base_end =
+      std::min(contig_lengths_[cid], base_start + partition_length_);
+  const std::int64_t sub_len = std::max<std::int64_t>(
+      1, (base_end - base_start) / entry.split_count);
+  const auto offset = static_cast<std::uint32_t>(
+      std::min<std::int64_t>((pos - base_start) / sub_len,
+                             entry.split_count - 1));
+  return entry.start_id + offset;
+}
+
+std::uint32_t PartitionInfo::partition_count() const {
+  return static_cast<std::uint32_t>(regions_.size());
+}
+
+PartitionInfo::Region PartitionInfo::region_of(std::uint32_t final_id) const {
+  return regions_.at(final_id);
+}
+
+}  // namespace gpf::core

@@ -1,0 +1,80 @@
+// PartitionInfo: the paper's auxiliary structure mapping genomic positions
+// to partition ids (Fig 8) with a dynamic split table for hot partitions
+// (Fig 9, Sec 4.4).
+//
+// Base mapping: each contig is divided into fixed-length segments; the
+// partition id of (contig, position) is the contig's starting partition
+// number plus position / partition_length.
+//
+// Dynamic splitting: after the RepartitionInfoProducer counts reads per
+// partition, partitions above a threshold are split into `ceil(count /
+// threshold)` equal sub-ranges.  A split table maps old ids to (split
+// count, new start id); ids are renumbered densely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "formats/sam.hpp"
+
+namespace gpf::core {
+
+class PartitionInfo {
+ public:
+  /// Builds the base mapping for contigs of the given lengths.
+  PartitionInfo(const std::vector<SamHeader::ContigInfo>& contigs,
+                std::int64_t partition_length);
+
+  std::int64_t partition_length() const { return partition_length_; }
+
+  /// Base (pre-split) partition id of a position (paper Fig 8).
+  std::uint32_t base_partition_of(std::int32_t contig_id,
+                                  std::int64_t pos) const;
+
+  /// Number of base partitions.
+  std::uint32_t base_partition_count() const { return base_count_; }
+
+  /// Applies the dynamic split: `reads_per_partition` indexed by base id;
+  /// any partition with more reads than `threshold` is split.  Replaces
+  /// any previous split table.
+  void apply_split(std::span<const std::uint64_t> reads_per_partition,
+                   std::uint64_t threshold);
+
+  /// Final (post-split) partition id of a position (paper Fig 9).  Without
+  /// a split table this equals a dense renumbering of the base ids.
+  std::uint32_t partition_of(std::int32_t contig_id, std::int64_t pos) const;
+
+  /// Number of final partitions.
+  std::uint32_t partition_count() const;
+
+  /// Genomic range [start, end) of a final partition.
+  struct Region {
+    std::int32_t contig_id = -1;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+  };
+  Region region_of(std::uint32_t final_id) const;
+
+  /// Split-table entry for a base partition (paper Fig 9's table rows).
+  struct SplitEntry {
+    std::uint32_t split_count = 1;
+    std::uint32_t start_id = 0;
+  };
+  const std::vector<SplitEntry>& split_table() const { return split_table_; }
+  bool has_split() const { return split_applied_; }
+
+ private:
+  std::int64_t partition_length_;
+  /// Paper Fig 8's two arrays: partitions per contig and starting number.
+  std::vector<std::uint32_t> partitions_per_contig_;
+  std::vector<std::uint32_t> contig_start_id_;
+  std::vector<std::int64_t> contig_lengths_;
+  std::uint32_t base_count_ = 0;
+
+  bool split_applied_ = false;
+  std::vector<SplitEntry> split_table_;  // indexed by base id
+  std::vector<Region> regions_;          // indexed by final id
+};
+
+}  // namespace gpf::core

@@ -1,0 +1,131 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace gpf::core {
+
+const align::ReadAligner& PipelineContext::aligner() {
+  if (!aligner_) {
+    Timer t;
+    fm_index_ = std::make_unique<align::FmIndex>(*reference_);
+    aligner_ = std::make_unique<align::ReadAligner>(*fm_index_);
+    GPF_INFO("built FM index over %zu bases in %s",
+             static_cast<std::size_t>(reference_->total_length()),
+             format_duration(t.seconds()).c_str());
+  }
+  return *aligner_;
+}
+
+std::vector<SamHeader::ContigInfo> PipelineContext::contig_infos() const {
+  std::vector<SamHeader::ContigInfo> out;
+  out.reserve(reference_->contig_count());
+  for (const auto& c : reference_->contigs()) {
+    out.push_back({c.name, static_cast<std::int64_t>(c.sequence.size())});
+  }
+  return out;
+}
+
+void Process::execute(PipelineContext& ctx) {
+  mark_state(ProcessState::kRunning);
+  Timer t;
+  run(ctx);
+  wall_seconds_ = t.seconds();
+  // Every declared output must now be defined — catching Processes that
+  // forget to fill a Resource early.
+  for (const auto* r : outputs_) {
+    if (!r->defined()) {
+      throw std::logic_error("process '" + name_ +
+                             "' finished without defining resource '" +
+                             r->name() + "'");
+    }
+  }
+  mark_state(ProcessState::kEnd);
+}
+
+Pipeline::Pipeline(std::string name, engine::Engine& engine,
+                   const Reference& reference, PipelineConfig config)
+    : name_(std::move(name)), context_(engine, reference, config) {}
+
+void Pipeline::eliminate_redundancy(PipelineReport& report) {
+  // Producer map: resource -> producing process; consumer count per
+  // resource.
+  std::map<const Resource*, Process*> producer;
+  std::map<const Resource*, int> consumers;
+  for (const auto& p : processes_) {
+    for (const auto* r : p->outputs()) producer[r] = p.get();
+    for (const auto* r : p->inputs()) ++consumers[r];
+  }
+
+  // Walk processes; fuse Q onto P when: both are partition Processes, Q
+  // consumes a resource produced by P, and that resource has exactly one
+  // consumer (the paper's out-degree-1 / in-degree-1 path condition).
+  for (const auto& q : processes_) {
+    if (!q->is_partition_process()) continue;
+    for (const auto* r : q->inputs()) {
+      const auto it = producer.find(r);
+      if (it == producer.end()) continue;
+      Process* p = it->second;
+      if (!p->is_partition_process()) continue;
+      if (consumers[r] != 1) continue;
+      p->set_emit_bundle(true);
+      q->set_bundle_source(p);
+      ++report.processes_fused;
+      break;
+    }
+  }
+  // Count chains (maximal runs of fused processes).
+  std::set<const Process*> sources;
+  for (const auto& q : processes_) {
+    if (q->bundle_source() != nullptr) sources.insert(q->bundle_source());
+  }
+  for (const auto* s : sources) {
+    if (s->bundle_source() == nullptr) ++report.fused_chains;
+  }
+}
+
+PipelineReport Pipeline::run() {
+  PipelineReport report;
+  if (context_.config().eliminate_redundancy) {
+    eliminate_redundancy(report);
+  }
+
+  // Paper Algorithm 1: iterate, executing every process whose inputs are
+  // all in the resource pool, until none remain.
+  std::vector<Process*> unfinished;
+  for (const auto& p : processes_) unfinished.push_back(p.get());
+
+  Timer total;
+  while (!unfinished.empty()) {
+    std::vector<Process*> runnable;
+    for (auto* p : unfinished) {
+      if (p->ready()) {
+        p->mark_state(ProcessState::kReady);
+        runnable.push_back(p);
+      }
+    }
+    if (runnable.empty()) {
+      std::string stuck;
+      for (const auto* p : unfinished) {
+        stuck += ' ' + p->name();
+      }
+      throw std::runtime_error("circular dependency among processes:" +
+                               stuck);
+    }
+    for (auto* p : runnable) {
+      GPF_INFO("running process %s", p->name().c_str());
+      p->execute(context_);
+      report.timings.push_back({p->name(), p->wall_seconds()});
+      std::erase(unfinished, p);
+    }
+  }
+  report.total_wall_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace gpf::core

@@ -1,0 +1,68 @@
+// The Pipeline runtime: resource-pool DAG scheduling (paper Algorithm 1)
+// plus the redundancy-elimination pass (paper Fig 7) that fuses chains of
+// partition Processes into bundle-passing form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+#include "core/resource.hpp"
+
+namespace gpf::core {
+
+/// Summary of one pipeline run, feeding the Table 4 metrics.
+struct PipelineReport {
+  struct ProcessTiming {
+    std::string name;
+    double wall_seconds = 0.0;
+  };
+  std::vector<ProcessTiming> timings;
+  double total_wall_seconds = 0.0;
+  std::size_t fused_chains = 0;
+  std::size_t processes_fused = 0;
+};
+
+/// Owns resources and processes and executes them in dependency order.
+class Pipeline {
+ public:
+  Pipeline(std::string name, engine::Engine& engine,
+           const Reference& reference, PipelineConfig config = {});
+
+  const std::string& name() const { return name_; }
+  PipelineContext& context() { return context_; }
+
+  /// Registers a Resource; the pipeline owns it.  Returns a raw pointer
+  /// for wiring into Processes.
+  template <typename R>
+  R* add_resource(std::unique_ptr<R> resource) {
+    R* raw = resource.get();
+    resources_.push_back(std::move(resource));
+    return raw;
+  }
+
+  /// Adds a Process to the execution DAG (paper: `pipeline.addProcess`).
+  template <typename P>
+  P* add_process(std::unique_ptr<P> process) {
+    P* raw = process.get();
+    processes_.push_back(std::move(process));
+    return raw;
+  }
+
+  /// Parses, optimizes and executes all Processes (paper: `run()`).
+  /// Throws std::runtime_error on circular dependencies.
+  PipelineReport run();
+
+ private:
+  /// The Fig 7 pass: finds linear chains of partition Processes and wires
+  /// bundle handoffs.
+  void eliminate_redundancy(PipelineReport& report);
+
+  std::string name_;
+  PipelineContext context_;
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace gpf::core

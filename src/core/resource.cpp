@@ -1,0 +1,13 @@
+// resource.hpp is header-only; this translation unit anchors the module in
+// the build and instantiates the common bundle types once for faster
+// downstream compiles.
+#include "core/resource.hpp"
+
+namespace gpf::core {
+
+template class BundleResource<FastqPair>;
+template class BundleResource<SamRecord>;
+template class BundleResource<VcfRecord>;
+template class BundleResource<RegionBundle>;
+
+}  // namespace gpf::core

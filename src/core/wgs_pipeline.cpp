@@ -1,0 +1,67 @@
+#include "core/wgs_pipeline.hpp"
+
+namespace gpf::core {
+
+WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
+                           std::vector<FastqPair> pairs,
+                           std::vector<VcfRecord> known_sites,
+                           const PipelineConfig& config, bool use_gvcf) {
+  Pipeline pipeline("wgs", engine, reference, config);
+
+  // Resources (paper Fig 3's Bundle instances).
+  auto* fastq = pipeline.add_resource(
+      FastqPairBundle::make_undefined("fastqPair"));
+  auto* known = pipeline.add_resource(VcfBundle::make_undefined("dbsnp"));
+  auto* aligned = pipeline.add_resource(
+      SamBundle::make_undefined("alignedSam"));
+  auto* sorted = pipeline.add_resource(SamBundle::make_undefined("sortedSam"));
+  auto* deduped = pipeline.add_resource(
+      SamBundle::make_undefined("dedupedSam"));
+  auto* partition_info = pipeline.add_resource(
+      PartitionInfoResource::make_undefined("partitionInfo"));
+  auto* realigned = pipeline.add_resource(
+      SamBundle::make_undefined("realignedSam"));
+  auto* recaled = pipeline.add_resource(
+      SamBundle::make_undefined("recaledSam"));
+  auto* vcf = pipeline.add_resource(VcfBundle::make_undefined("resultVcf"));
+  auto* final_vcf = pipeline.add_resource(
+      VcfResultResource::make_undefined("finalVcf"));
+  GvcfBlocksResource* gvcf_blocks = nullptr;
+  if (use_gvcf) {
+    gvcf_blocks = pipeline.add_resource(
+        GvcfBlocksResource::make_undefined("gvcfBlocks"));
+  }
+
+  // Processes (paper Fig 3's pipeline.addProcess calls).
+  pipeline.add_process(std::make_unique<LoadFastqProcess>(
+      "LoadFastq", std::move(pairs), fastq));
+  pipeline.add_process(std::make_unique<LoadKnownSitesProcess>(
+      "LoadDbsnp", std::move(known_sites), known));
+  pipeline.add_process(
+      std::make_unique<BwaMemProcess>("MyBwaMapping", fastq, aligned));
+  pipeline.add_process(std::make_unique<ReadRepartitioner>(
+      "MyRepartitioner", aligned, partition_info));
+  pipeline.add_process(std::make_unique<SortProcess>(
+      "MySort", aligned, partition_info, sorted));
+  auto* markdup = pipeline.add_process(std::make_unique<MarkDuplicateProcess>(
+      "MyMarkDuplicate", sorted, deduped));
+  pipeline.add_process(std::make_unique<IndelRealignProcess>(
+      "MyIndelRealign", deduped, known, partition_info, realigned));
+  pipeline.add_process(std::make_unique<BaseRecalibrationProcess>(
+      "MyBaseRecalibration", realigned, known, partition_info, recaled));
+  pipeline.add_process(std::make_unique<HaplotypeCallerProcess>(
+      "MyHaplotypeCaller", recaled, known, partition_info, vcf, use_gvcf,
+      gvcf_blocks));
+  pipeline.add_process(std::make_unique<CollectVcfProcess>(
+      "CollectVcf", vcf, final_vcf));
+
+  WgsResult result;
+  result.report = pipeline.run();
+  result.variants = final_vcf->get();
+  if (use_gvcf) result.gvcf_blocks = gvcf_blocks->get();
+  result.markdup_stats = markdup->stats();
+  result.final_partitions = partition_info->get().partition_count();
+  return result;
+}
+
+}  // namespace gpf::core

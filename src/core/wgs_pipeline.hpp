@@ -1,0 +1,35 @@
+// Convenience builder for the paper's test-case pipeline (Fig 1/Fig 3):
+// LoadFASTQ -> BwaMem -> Sort -> MarkDuplicate -> Repartition ->
+// IndelRealign -> BaseRecalibration -> HaplotypeCaller -> CollectVCF.
+//
+// This is the programmatic equivalent of the user code in paper Fig 3 and
+// the workload behind Figs 10-13 and Tables 3-4.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/processes.hpp"
+#include "formats/fastq.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf::core {
+
+struct WgsResult {
+  std::vector<VcfRecord> variants;
+  /// Reference-confidence blocks; filled only when `use_gvcf` was set
+  /// (the paper API's useGVCF flag).
+  std::vector<caller::GvcfBlock> gvcf_blocks;
+  cleaner::MarkDuplicatesStats markdup_stats;
+  PipelineReport report;
+  std::size_t final_partitions = 0;
+};
+
+/// Builds and runs the full WGS pipeline over in-memory inputs.
+WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
+                           std::vector<FastqPair> pairs,
+                           std::vector<VcfRecord> known_sites,
+                           const PipelineConfig& config = {},
+                           bool use_gvcf = false);
+
+}  // namespace gpf::core

@@ -1,0 +1,483 @@
+// The in-memory dataflow engine: a typed, partitioned, eagerly-executed
+// dataset abstraction equivalent to the Spark RDD layer GPF builds on.
+//
+// Differences from Spark that matter for the reproduction:
+//  * Execution is eager, one stage per transformation; the *Process-level*
+//    DAG optimization the paper contributes lives above this layer in
+//    src/core (the engine deliberately stays dumb, like Spark's task
+//    runner, so that redundancy elimination is attributable to GPF).
+//  * Every stage records metrics (per-task compute seconds, shuffle bytes,
+//    serialization time) so a run can be replayed on the cluster simulator
+//    at any core count.
+//  * Shuffles optionally round-trip records through a real serializer
+//    (Java-like / Kryo-like / GPF codecs), which is how the compression
+//    experiments measure bytes actually moved.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "engine/metrics.hpp"
+
+namespace gpf::engine {
+
+/// Serializer hooks used when a shuffle round-trips records through bytes.
+template <typename T>
+struct ShuffleCodec {
+  std::function<std::vector<std::uint8_t>(std::span<const T>)> encode;
+  std::function<std::vector<T>(std::span<const std::uint8_t>)> decode;
+
+  bool valid() const { return encode != nullptr && decode != nullptr; }
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  /// Local worker threads executing partition tasks (0 = hardware).
+  std::size_t worker_threads = 0;
+  /// When true, wide dependencies serialize every shuffle block through the
+  /// dataset's codec (if one is attached), measuring real byte volumes.
+  bool serialize_shuffle = true;
+  /// Failed partition tasks are re-executed up to this many times before
+  /// the stage fails (Spark re-runs lost tasks from lineage; inputs here
+  /// are immutable shared partitions, so a retry is exactly a lineage
+  /// recompute).
+  int max_task_retries = 2;
+};
+
+template <typename T>
+class Dataset;
+
+/// Execution context: owns the worker pool and metrics, hands out datasets.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {})
+      : config_(config), pool_(config.worker_threads) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  ThreadPool& pool() { return pool_; }
+  EngineMetrics& metrics() { return metrics_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+
+  /// Creates a dataset from pre-partitioned data.
+  template <typename T>
+  Dataset<T> make_dataset(std::vector<std::vector<T>> partitions);
+
+  /// Creates a dataset by slicing `records` into `num_partitions` evenly.
+  template <typename T>
+  Dataset<T> parallelize(std::vector<T> records, std::size_t num_partitions);
+
+ private:
+  EngineConfig config_;
+  ThreadPool pool_;
+  EngineMetrics metrics_;
+};
+
+/// A partitioned in-memory collection.  Cheap to copy (partitions are
+/// shared and immutable once produced).
+template <typename T>
+class Dataset {
+ public:
+  using Partitions = std::vector<std::vector<T>>;
+
+  Dataset() = default;
+  Dataset(Engine* engine, std::shared_ptr<Partitions> partitions)
+      : engine_(engine), partitions_(std::move(partitions)) {}
+
+  Engine& engine() const { return *engine_; }
+  std::size_t partition_count() const { return partitions_->size(); }
+  const Partitions& partitions() const { return *partitions_; }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& p : *partitions_) n += p.size();
+    return n;
+  }
+
+  /// Gathers all records into one vector (partition order preserved).
+  std::vector<T> collect() const {
+    std::vector<T> out;
+    out.reserve(count());
+    for (const auto& p : *partitions_) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  /// Attaches a serializer used by subsequent shuffles of this dataset.
+  Dataset with_codec(ShuffleCodec<T> codec) const {
+    Dataset copy = *this;
+    copy.codec_ = std::make_shared<ShuffleCodec<T>>(std::move(codec));
+    return copy;
+  }
+
+  const std::shared_ptr<ShuffleCodec<T>>& codec() const { return codec_; }
+
+  /// Narrow transformation: element-wise map.
+  template <typename Fn>
+  auto map(const std::string& stage_name, Fn&& fn) const
+      -> Dataset<std::decay_t<std::invoke_result_t<Fn, const T&>>> {
+    using U = std::decay_t<std::invoke_result_t<Fn, const T&>>;
+    return map_partitions<U>(stage_name, [fn](const std::vector<T>& part) {
+      std::vector<U> out;
+      out.reserve(part.size());
+      for (const auto& x : part) out.push_back(fn(x));
+      return out;
+    });
+  }
+
+  /// Narrow transformation: element-wise flat map.
+  template <typename Fn>
+  auto flat_map(const std::string& stage_name, Fn&& fn) const
+      -> Dataset<typename std::decay_t<
+          std::invoke_result_t<Fn, const T&>>::value_type> {
+    using Vec = std::decay_t<std::invoke_result_t<Fn, const T&>>;
+    using U = typename Vec::value_type;
+    return map_partitions<U>(stage_name, [fn](const std::vector<T>& part) {
+      std::vector<U> out;
+      for (const auto& x : part) {
+        Vec ys = fn(x);
+        out.insert(out.end(), std::make_move_iterator(ys.begin()),
+                   std::make_move_iterator(ys.end()));
+      }
+      return out;
+    });
+  }
+
+  /// Narrow transformation: keep elements satisfying `pred`.
+  template <typename Pred>
+  Dataset filter(const std::string& stage_name, Pred&& pred) const {
+    return map_partitions<T>(stage_name, [pred](const std::vector<T>& part) {
+      std::vector<T> out;
+      for (const auto& x : part) {
+        if (pred(x)) out.push_back(x);
+      }
+      return out;
+    });
+  }
+
+  /// Narrow transformation over whole partitions.  `fn` receives the input
+  /// partition and returns the output partition; it runs once per
+  /// partition, in parallel, and per-task compute time is recorded.
+  /// Failed tasks are retried per EngineConfig::max_task_retries — input
+  /// partitions are immutable, so a retry is a clean lineage recompute.
+  template <typename U, typename Fn>
+  Dataset<U> map_partitions(const std::string& stage_name, Fn&& fn) const {
+    return map_partitions_indexed<U>(
+        stage_name,
+        [&fn](std::size_t, const std::vector<T>& part) { return fn(part); });
+  }
+
+  /// Like map_partitions but `fn` also receives the partition index.
+  template <typename U, typename Fn>
+  Dataset<U> map_partitions_indexed(const std::string& stage_name,
+                                    Fn&& fn) const {
+    const std::size_t n = partitions_->size();
+    auto out = std::make_shared<std::vector<std::vector<U>>>(n);
+    StageMetrics stage;
+    stage.name = stage_name;
+    stage.task_count = n;
+    stage.task_seconds.assign(n, 0.0);
+    std::atomic<std::size_t> retries{0};
+
+    const int max_retries = engine_->config().max_task_retries;
+    Timer wall;
+    engine_->pool().parallel_for(n, [&](std::size_t i) {
+      Timer t;
+      (*out)[i] = run_task(max_retries, retries,
+                           [&] { return fn(i, (*partitions_)[i]); });
+      stage.task_seconds[i] = t.seconds();
+    });
+    stage.wall_seconds = wall.seconds();
+    stage.task_retries = retries.load();
+    engine_->metrics().add_stage(std::move(stage));
+
+    return Dataset<U>(engine_, std::move(out));
+  }
+
+  /// Wide transformation: redistribute every record to the output
+  /// partition chosen by `part_fn(record) % num_out`.  When the dataset
+  /// carries a codec and the engine is configured to serialize shuffles,
+  /// every block is round-tripped through bytes and the volume recorded.
+  template <typename PartFn>
+  Dataset shuffle(const std::string& stage_name, std::size_t num_out,
+                  PartFn&& part_fn) const {
+    if (num_out == 0) throw std::invalid_argument("shuffle: num_out == 0");
+    const std::size_t n_in = partitions_->size();
+    const bool use_codec =
+        codec_ && codec_->valid() && engine_->config().serialize_shuffle;
+
+    StageMetrics stage;
+    stage.name = stage_name;
+    stage.task_count = n_in + num_out;
+    stage.task_seconds.assign(n_in + num_out, 0.0);
+    stage.wide = true;
+    stage.map_task_count = n_in;
+
+    // Map side: bucket each input partition into num_out blocks.
+    std::vector<std::vector<std::vector<T>>> blocks(n_in);
+    std::vector<std::vector<std::vector<std::uint8_t>>> encoded(n_in);
+    std::vector<std::uint64_t> write_bytes(n_in, 0);
+    std::vector<double> ser_seconds(n_in + num_out, 0.0);
+
+    Timer wall;
+    engine_->pool().parallel_for(n_in, [&](std::size_t i) {
+      Timer t;
+      auto& buckets = blocks[i];
+      buckets.resize(num_out);
+      for (const auto& x : (*partitions_)[i]) {
+        buckets[part_fn(x) % num_out].push_back(x);
+      }
+      if (use_codec) {
+        Timer ser;
+        encoded[i].resize(num_out);
+        for (std::size_t b = 0; b < num_out; ++b) {
+          encoded[i][b] = codec_->encode(
+              std::span<const T>(buckets[b].data(), buckets[b].size()));
+          write_bytes[i] += encoded[i][b].size();
+          buckets[b].clear();
+          buckets[b].shrink_to_fit();
+        }
+        ser_seconds[i] = ser.seconds();
+      }
+      stage.task_seconds[i] = t.seconds();
+    });
+
+    // Reduce side: gather blocks per output partition.
+    auto out = std::make_shared<Partitions>(num_out);
+    std::vector<std::uint64_t> read_bytes(num_out, 0);
+    engine_->pool().parallel_for(num_out, [&](std::size_t b) {
+      Timer t;
+      auto& dest = (*out)[b];
+      if (use_codec) {
+        Timer ser;
+        for (std::size_t i = 0; i < n_in; ++i) {
+          read_bytes[b] += encoded[i][b].size();
+          auto records = codec_->decode(std::span<const std::uint8_t>(
+              encoded[i][b].data(), encoded[i][b].size()));
+          dest.insert(dest.end(), std::make_move_iterator(records.begin()),
+                      std::make_move_iterator(records.end()));
+        }
+        ser_seconds[n_in + b] = ser.seconds();
+      } else {
+        for (std::size_t i = 0; i < n_in; ++i) {
+          auto& blk = blocks[i][b];
+          dest.insert(dest.end(), std::make_move_iterator(blk.begin()),
+                      std::make_move_iterator(blk.end()));
+        }
+      }
+      stage.task_seconds[n_in + b] = t.seconds();
+    });
+
+    stage.wall_seconds = wall.seconds();
+    stage.shuffle_write_bytes =
+        std::accumulate(write_bytes.begin(), write_bytes.end(),
+                        std::uint64_t{0});
+    stage.shuffle_read_bytes = std::accumulate(
+        read_bytes.begin(), read_bytes.end(), std::uint64_t{0});
+    if (!use_codec) {
+      // Without a codec we still estimate moved volume from record count
+      // times a nominal record size so redundancy metrics stay comparable.
+      std::uint64_t records_moved = 0;
+      for (const auto& part_blocks : blocks) {
+        for (const auto& blk : part_blocks) records_moved += blk.size();
+      }
+      stage.shuffle_write_bytes = records_moved * sizeof(T);
+      stage.shuffle_read_bytes = stage.shuffle_write_bytes;
+    }
+    stage.serialization_seconds =
+        std::accumulate(ser_seconds.begin(), ser_seconds.end(), 0.0);
+    engine_->metrics().add_stage(std::move(stage));
+
+    Dataset result(engine_, std::move(out));
+    result.codec_ = codec_;
+    return result;
+  }
+
+  /// Wide transformation: groups records by key; each output partition
+  /// holds complete groups.
+  template <typename KeyFn>
+  auto group_by(const std::string& stage_name, std::size_t num_out,
+                KeyFn&& key_fn) const
+      -> Dataset<std::pair<std::decay_t<std::invoke_result_t<KeyFn, const T&>>,
+                           std::vector<T>>> {
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    auto shuffled = shuffle(stage_name, num_out, [key_fn](const T& x) {
+      return std::hash<K>{}(key_fn(x));
+    });
+    return shuffled.template map_partitions<std::pair<K, std::vector<T>>>(
+        stage_name + ".group", [key_fn](const std::vector<T>& part) {
+          std::unordered_map<K, std::vector<T>> groups;
+          for (const auto& x : part) groups[key_fn(x)].push_back(x);
+          std::vector<std::pair<K, std::vector<T>>> out;
+          out.reserve(groups.size());
+          for (auto& [k, v] : groups) out.emplace_back(k, std::move(v));
+          return out;
+        });
+  }
+
+  /// Wide transformation: global sort by `key_fn`'s value using sampled
+  /// range partitioning (Spark's sortBy): sample keys, pick splitters,
+  /// route each record to its key range, sort locally.  Output partitions
+  /// concatenate to a globally sorted sequence.
+  template <typename KeyFn>
+  Dataset sort_by(const std::string& stage_name, std::size_t num_out,
+                  KeyFn&& key_fn) const {
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    if (num_out == 0) throw std::invalid_argument("sort_by: num_out == 0");
+
+    // Sample candidate splitters from every partition.
+    std::vector<K> samples;
+    for (const auto& part : *partitions_) {
+      const std::size_t stride = std::max<std::size_t>(1, part.size() / 32);
+      for (std::size_t i = 0; i < part.size(); i += stride) {
+        samples.push_back(key_fn(part[i]));
+      }
+    }
+    std::sort(samples.begin(), samples.end());
+    std::vector<K> splitters;
+    for (std::size_t s = 1; s < num_out && !samples.empty(); ++s) {
+      splitters.push_back(samples[s * samples.size() / num_out]);
+    }
+
+    auto ranged = shuffle(stage_name, num_out, [key_fn, splitters](const T& x) {
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(),
+                                       key_fn(x));
+      return static_cast<std::uint64_t>(
+          std::distance(splitters.begin(), it));
+    });
+    return ranged.template map_partitions<T>(
+        stage_name + ".local_sort", [key_fn](const std::vector<T>& part) {
+          std::vector<T> out = part;
+          std::stable_sort(out.begin(), out.end(),
+                           [&key_fn](const T& a, const T& b) {
+                             return key_fn(a) < key_fn(b);
+                           });
+          return out;
+        });
+  }
+
+  /// Narrow transformation: merges partitions down to `num_out` without a
+  /// shuffle (Spark's coalesce): adjacent input partitions concatenate.
+  Dataset coalesce(const std::string& stage_name, std::size_t num_out) const {
+    if (num_out == 0) throw std::invalid_argument("coalesce: num_out == 0");
+    const std::size_t n_in = partitions_->size();
+    if (num_out >= n_in) return *this;
+    std::vector<std::vector<T>> merged(num_out);
+    for (std::size_t i = 0; i < n_in; ++i) {
+      const std::size_t dest = i * num_out / n_in;
+      merged[dest].insert(merged[dest].end(), (*partitions_)[i].begin(),
+                          (*partitions_)[i].end());
+    }
+    StageMetrics stage;
+    stage.name = stage_name;
+    stage.task_count = num_out;
+    stage.task_seconds.assign(num_out, 0.0);
+    engine_->metrics().add_stage(std::move(stage));
+    Dataset result(engine_,
+                   std::make_shared<Partitions>(std::move(merged)));
+    result.codec_ = codec_;
+    return result;
+  }
+
+  /// Concatenates this dataset's partitions with `other`'s (Spark's
+  /// union: no shuffle, partition lists append).
+  Dataset union_with(const Dataset& other) const {
+    std::vector<std::vector<T>> parts = *partitions_;
+    parts.insert(parts.end(), other.partitions_->begin(),
+                 other.partitions_->end());
+    Dataset result(engine_, std::make_shared<Partitions>(std::move(parts)));
+    result.codec_ = codec_;
+    return result;
+  }
+
+  /// Fold all records into a single value (associative `op`).
+  template <typename U, typename Fold, typename Combine>
+  U aggregate(const std::string& stage_name, U init, Fold&& fold,
+              Combine&& combine) const {
+    const std::size_t n = partitions_->size();
+    std::vector<U> partials(n, init);
+    StageMetrics stage;
+    stage.name = stage_name;
+    stage.task_count = n;
+    stage.task_seconds.assign(n, 0.0);
+    Timer wall;
+    engine_->pool().parallel_for(n, [&](std::size_t i) {
+      Timer t;
+      U acc = init;
+      for (const auto& x : (*partitions_)[i]) acc = fold(std::move(acc), x);
+      partials[i] = std::move(acc);
+      stage.task_seconds[i] = t.seconds();
+    });
+    stage.wall_seconds = wall.seconds();
+    engine_->metrics().add_stage(std::move(stage));
+    U result = init;
+    for (auto& p : partials) result = combine(std::move(result), std::move(p));
+    return result;
+  }
+
+ private:
+  template <typename U>
+  friend class Dataset;
+
+  /// Runs `attempt` with up to `max_retries` re-executions on exception;
+  /// rethrows the final failure (which parallel_for surfaces to the
+  /// caller).
+  template <typename Attempt>
+  static auto run_task(int max_retries, std::atomic<std::size_t>& retries,
+                       Attempt&& attempt)
+      -> decltype(attempt()) {
+    for (int attempt_no = 0;; ++attempt_no) {
+      try {
+        return attempt();
+      } catch (...) {
+        if (attempt_no >= max_retries) throw;
+        ++retries;
+      }
+    }
+  }
+
+  Engine* engine_ = nullptr;
+  std::shared_ptr<Partitions> partitions_;
+  std::shared_ptr<ShuffleCodec<T>> codec_;
+};
+
+template <typename T>
+Dataset<T> Engine::make_dataset(std::vector<std::vector<T>> partitions) {
+  return Dataset<T>(this, std::make_shared<std::vector<std::vector<T>>>(
+                              std::move(partitions)));
+}
+
+template <typename T>
+Dataset<T> Engine::parallelize(std::vector<T> records,
+                               std::size_t num_partitions) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("parallelize: num_partitions == 0");
+  }
+  std::vector<std::vector<T>> parts(num_partitions);
+  const std::size_t total = records.size();
+  const std::size_t chunk = (total + num_partitions - 1) / num_partitions;
+  std::size_t at = 0;
+  for (std::size_t p = 0; p < num_partitions && at < total; ++p) {
+    const std::size_t end = std::min(total, at + chunk);
+    parts[p].assign(std::make_move_iterator(records.begin() + at),
+                    std::make_move_iterator(records.begin() + end));
+    at = end;
+  }
+  return make_dataset(std::move(parts));
+}
+
+}  // namespace gpf::engine

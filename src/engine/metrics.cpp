@@ -1,0 +1,56 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpf::engine {
+
+double StageMetrics::total_compute_seconds() const {
+  return std::accumulate(task_seconds.begin(), task_seconds.end(), 0.0);
+}
+
+double StageMetrics::max_task_seconds() const {
+  if (task_seconds.empty()) return 0.0;
+  return *std::max_element(task_seconds.begin(), task_seconds.end());
+}
+
+std::size_t EngineMetrics::add_stage(StageMetrics stage) {
+  std::lock_guard lock(mu_);
+  stages_.push_back(std::move(stage));
+  return stages_.size() - 1;
+}
+
+std::uint64_t EngineMetrics::total_shuffle_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& s : stages_) total += s.shuffle_write_bytes;
+  return total;
+}
+
+double EngineMetrics::total_serialization_seconds() const {
+  std::lock_guard lock(mu_);
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.serialization_seconds;
+  return total;
+}
+
+double EngineMetrics::total_compute_seconds() const {
+  std::lock_guard lock(mu_);
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.total_compute_seconds();
+  return total;
+}
+
+double EngineMetrics::total_wall_seconds() const {
+  std::lock_guard lock(mu_);
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.wall_seconds;
+  return total;
+}
+
+void EngineMetrics::reset() {
+  std::lock_guard lock(mu_);
+  stages_.clear();
+}
+
+}  // namespace gpf::engine

@@ -1,0 +1,66 @@
+// Engine metrics: everything the paper's evaluation measures about a run —
+// stage counts, per-task compute times, shuffle volume, serialization (our
+// GC proxy) — is accumulated here and later replayed on the cluster
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpf::engine {
+
+/// Metrics for one executed stage.
+struct StageMetrics {
+  std::string name;
+  std::size_t task_count = 0;
+  /// Per-task pure-compute seconds, measured on the local thread pool.
+  std::vector<double> task_seconds;
+  /// Bytes of live input/output records (estimated record footprint).
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  /// Serialized bytes written to / read from the shuffle, if this stage
+  /// ends in (or begins from) a wide dependency.
+  std::uint64_t shuffle_write_bytes = 0;
+  std::uint64_t shuffle_read_bytes = 0;
+  /// Time spent in (de)serialization for shuffle blocks.
+  double serialization_seconds = 0.0;
+  /// Wall time of the stage on the local pool.
+  double wall_seconds = 0.0;
+  /// True when the stage performed a wide (shuffle) dependency.
+  bool wide = false;
+  /// For wide stages: how many of the tasks are map-side (the first
+  /// `map_task_count` entries of task_seconds); the rest are reduce-side.
+  std::size_t map_task_count = 0;
+  /// Task attempts that failed and were re-executed.
+  std::size_t task_retries = 0;
+
+  double total_compute_seconds() const;
+  double max_task_seconds() const;
+};
+
+/// Accumulates stages for one logical job; thread-safe for the per-task
+/// updates the executor makes.
+class EngineMetrics {
+ public:
+  /// Appends a finished stage and returns its index.
+  std::size_t add_stage(StageMetrics stage);
+
+  const std::vector<StageMetrics>& stages() const { return stages_; }
+  std::size_t stage_count() const { return stages_.size(); }
+
+  std::uint64_t total_shuffle_bytes() const;
+  double total_serialization_seconds() const;
+  double total_compute_seconds() const;
+  double total_wall_seconds() const;
+
+  /// Clears all recorded stages.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageMetrics> stages_;
+};
+
+}  // namespace gpf::engine

@@ -1,0 +1,120 @@
+#include "formats/bed.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+std::string_view next_line(std::string_view text, std::size_t& i) {
+  std::size_t eol = text.find('\n', i);
+  if (eol == std::string_view::npos) eol = text.size();
+  std::string_view line = text.substr(i, eol - i);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  i = eol + 1;
+  return line;
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::int64_t to_i64(std::string_view s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("BED: bad integer: " + std::string(s));
+  }
+  return v;
+}
+
+bool interval_less(const BedInterval& a, const BedInterval& b) {
+  if (a.contig_id != b.contig_id) return a.contig_id < b.contig_id;
+  return a.start < b.start;
+}
+
+}  // namespace
+
+IntervalSet::IntervalSet(std::vector<BedInterval> intervals) {
+  std::sort(intervals.begin(), intervals.end(), interval_less);
+  for (auto& iv : intervals) {
+    if (iv.end <= iv.start) continue;  // drop empty/inverted
+    if (!intervals_.empty() && intervals_.back().contig_id == iv.contig_id &&
+        iv.start <= intervals_.back().end) {
+      intervals_.back().end = std::max(intervals_.back().end, iv.end);
+    } else {
+      intervals_.push_back(std::move(iv));
+    }
+  }
+}
+
+std::int64_t IntervalSet::total_length() const {
+  std::int64_t total = 0;
+  for (const auto& iv : intervals_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::overlaps(std::int32_t contig_id, std::int64_t start,
+                           std::int64_t end) const {
+  if (end <= start) return false;
+  // First interval with (contig, start_of_interval) >= (contig, end).
+  BedInterval probe;
+  probe.contig_id = contig_id;
+  probe.start = end;
+  auto it = std::lower_bound(intervals_.begin(), intervals_.end(), probe,
+                             interval_less);
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->contig_id == contig_id && it->end > start;
+}
+
+std::vector<BedInterval> parse_bed(std::string_view text,
+                                   const SamHeader& header) {
+  std::vector<BedInterval> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::string_view line = next_line(text, i);
+    if (line.empty() || line.front() == '#' || line.starts_with("track") ||
+        line.starts_with("browser")) {
+      continue;
+    }
+    const auto fields = split_tabs(line);
+    if (fields.size() < 3) throw std::invalid_argument("BED: short line");
+    BedInterval iv;
+    iv.contig_id = header.find_contig(fields[0]);
+    if (iv.contig_id < 0) {
+      throw std::invalid_argument("BED: unknown contig " +
+                                  std::string(fields[0]));
+    }
+    iv.start = to_i64(fields[1]);
+    iv.end = to_i64(fields[2]);
+    if (fields.size() >= 4) iv.name = std::string(fields[3]);
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+std::string write_bed(const std::vector<BedInterval>& intervals,
+                      const SamHeader& header) {
+  std::string out;
+  for (const auto& iv : intervals) {
+    out += header.contigs.at(iv.contig_id).name;
+    out += '\t' + std::to_string(iv.start) + '\t' + std::to_string(iv.end);
+    if (!iv.name.empty()) out += '\t' + iv.name;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gpf

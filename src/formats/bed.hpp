@@ -1,0 +1,63 @@
+// BED intervals and an interval set with overlap queries — the target
+// mechanism behind exome (WES) and gene-panel workloads (the paper's
+// Fig 12 workload family): sequencing and calling are restricted to a
+// target list distributed as a BED file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/sam.hpp"
+
+namespace gpf {
+
+/// One half-open genomic interval [start, end).
+struct BedInterval {
+  std::int32_t contig_id = -1;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::string name;
+
+  std::int64_t length() const { return end - start; }
+  bool operator==(const BedInterval&) const = default;
+};
+
+/// A normalized interval list: sorted, merged, with O(log n) overlap
+/// queries.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// Normalizes (sorts and merges overlapping/adjacent intervals).
+  explicit IntervalSet(std::vector<BedInterval> intervals);
+
+  const std::vector<BedInterval>& intervals() const { return intervals_; }
+  std::size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  /// Total bases covered.
+  std::int64_t total_length() const;
+
+  /// True when [start, end) on `contig_id` overlaps any interval.
+  bool overlaps(std::int32_t contig_id, std::int64_t start,
+                std::int64_t end) const;
+  /// True when the position lies inside an interval.
+  bool contains(std::int32_t contig_id, std::int64_t pos) const {
+    return overlaps(contig_id, pos, pos + 1);
+  }
+
+ private:
+  std::vector<BedInterval> intervals_;  // sorted by (contig, start)
+};
+
+/// Parses BED text ("chrom\tstart\tend[\tname]"); contig names are
+/// resolved against `header`.  Unknown contigs raise
+/// std::invalid_argument; comment/track lines are skipped.
+std::vector<BedInterval> parse_bed(std::string_view text,
+                                   const SamHeader& header);
+
+/// Renders intervals back to BED text.
+std::string write_bed(const std::vector<BedInterval>& intervals,
+                      const SamHeader& header);
+
+}  // namespace gpf

@@ -1,0 +1,119 @@
+#include "formats/cigar.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+CigarOp op_from_char(char c) {
+  switch (c) {
+    case 'M':
+      return CigarOp::kMatch;
+    case 'I':
+      return CigarOp::kInsertion;
+    case 'D':
+      return CigarOp::kDeletion;
+    case 'N':
+      return CigarOp::kSkip;
+    case 'S':
+      return CigarOp::kSoftClip;
+    case 'H':
+      return CigarOp::kHardClip;
+    case 'P':
+      return CigarOp::kPad;
+    case '=':
+      return CigarOp::kEqual;
+    case 'X':
+      return CigarOp::kDiff;
+    default:
+      throw std::invalid_argument(std::string("bad CIGAR op: ") + c);
+  }
+}
+
+}  // namespace
+
+char cigar_op_char(CigarOp op) {
+  static constexpr char kChars[] = {'M', 'I', 'D', 'N', 'S', 'H', 'P', '=',
+                                    'X'};
+  return kChars[static_cast<std::uint8_t>(op)];
+}
+
+Cigar parse_cigar(std::string_view text) {
+  Cigar cigar;
+  if (text == "*" || text.empty()) return cigar;
+  std::uint64_t len = 0;
+  bool have_digit = false;
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      len = len * 10 + static_cast<std::uint64_t>(c - '0');
+      have_digit = true;
+      if (len > 0xffffffffULL) {
+        throw std::invalid_argument("CIGAR length overflow");
+      }
+    } else {
+      if (!have_digit || len == 0) {
+        throw std::invalid_argument("CIGAR op without length");
+      }
+      cigar.push_back({op_from_char(c), static_cast<std::uint32_t>(len)});
+      len = 0;
+      have_digit = false;
+    }
+  }
+  if (have_digit) throw std::invalid_argument("CIGAR trailing length");
+  return cigar;
+}
+
+std::string cigar_to_string(const Cigar& cigar) {
+  if (cigar.empty()) return "*";
+  std::string out;
+  for (const auto& el : cigar) {
+    out += std::to_string(el.length);
+    out += cigar_op_char(el.op);
+  }
+  return out;
+}
+
+bool consumes_read(CigarOp op) {
+  switch (op) {
+    case CigarOp::kMatch:
+    case CigarOp::kInsertion:
+    case CigarOp::kSoftClip:
+    case CigarOp::kEqual:
+    case CigarOp::kDiff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool consumes_reference(CigarOp op) {
+  switch (op) {
+    case CigarOp::kMatch:
+    case CigarOp::kDeletion:
+    case CigarOp::kSkip:
+    case CigarOp::kEqual:
+    case CigarOp::kDiff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint32_t cigar_read_length(const Cigar& cigar) {
+  std::uint32_t n = 0;
+  for (const auto& el : cigar) {
+    if (consumes_read(el.op)) n += el.length;
+  }
+  return n;
+}
+
+std::uint32_t cigar_reference_length(const Cigar& cigar) {
+  std::uint32_t n = 0;
+  for (const auto& el : cigar) {
+    if (consumes_reference(el.op)) n += el.length;
+  }
+  return n;
+}
+
+}  // namespace gpf

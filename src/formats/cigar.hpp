@@ -1,0 +1,54 @@
+// CIGAR alignment-description strings (SAM spec section 1.4.6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpf {
+
+/// One CIGAR operation.  Op codes follow the SAM specification.
+enum class CigarOp : std::uint8_t {
+  kMatch = 0,      // M: alignment match or mismatch
+  kInsertion = 1,  // I: insertion to the reference
+  kDeletion = 2,   // D: deletion from the reference
+  kSkip = 3,       // N: skipped region (introns)
+  kSoftClip = 4,   // S: clipped read bases kept in SEQ
+  kHardClip = 5,   // H: clipped read bases removed from SEQ
+  kPad = 6,        // P: padding
+  kEqual = 7,      // =: sequence match
+  kDiff = 8,       // X: sequence mismatch
+};
+
+struct CigarElement {
+  CigarOp op;
+  std::uint32_t length;
+
+  bool operator==(const CigarElement&) const = default;
+};
+
+using Cigar = std::vector<CigarElement>;
+
+/// Character code for an op ('M', 'I', ...).
+char cigar_op_char(CigarOp op);
+
+/// Parses "76M2I20M" style strings; throws std::invalid_argument on
+/// malformed input.  "*" parses to an empty Cigar.
+Cigar parse_cigar(std::string_view text);
+
+/// Renders a Cigar back to its SAM text form ("*" when empty).
+std::string cigar_to_string(const Cigar& cigar);
+
+/// Number of read bases consumed (M/I/S/=/X).
+std::uint32_t cigar_read_length(const Cigar& cigar);
+
+/// Number of reference bases consumed (M/D/N/=/X).
+std::uint32_t cigar_reference_length(const Cigar& cigar);
+
+/// True if op consumes read bases.
+bool consumes_read(CigarOp op);
+/// True if op consumes reference bases.
+bool consumes_reference(CigarOp op);
+
+}  // namespace gpf

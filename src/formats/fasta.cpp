@@ -1,0 +1,101 @@
+#include "formats/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gpf {
+namespace {
+
+char normalize_base(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A':
+      return 'A';
+    case 'C':
+      return 'C';
+    case 'G':
+      return 'G';
+    case 'T':
+      return 'T';
+    default:
+      return 'N';
+  }
+}
+
+}  // namespace
+
+Reference::Reference(std::vector<FastaContig> contigs)
+    : contigs_(std::move(contigs)) {
+  for (const auto& c : contigs_) total_length_ += c.sequence.size();
+}
+
+std::optional<std::int32_t> Reference::find_contig(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < contigs_.size(); ++i) {
+    if (contigs_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view Reference::slice(std::int32_t id, std::int64_t pos,
+                                  std::int64_t len) const {
+  const auto& seq = contigs_.at(id).sequence;
+  if (pos < 0) {
+    len += pos;
+    pos = 0;
+  }
+  if (pos >= static_cast<std::int64_t>(seq.size()) || len <= 0) return {};
+  const auto avail = static_cast<std::int64_t>(seq.size()) - pos;
+  return std::string_view(seq).substr(static_cast<std::size_t>(pos),
+                                      static_cast<std::size_t>(
+                                          std::min(len, avail)));
+}
+
+Reference parse_fasta(std::string_view text) {
+  std::vector<FastaContig> contigs;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t eol = text.find('\n', i);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(i, eol - i);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      if (line.front() == '>') {
+        // Header line: name is the first whitespace-delimited token.
+        std::string_view header = line.substr(1);
+        const std::size_t sp = header.find_first_of(" \t");
+        contigs.push_back(
+            {std::string(sp == std::string_view::npos ? header
+                                                      : header.substr(0, sp)),
+             {}});
+      } else {
+        if (contigs.empty()) {
+          throw std::invalid_argument("FASTA: sequence before header");
+        }
+        auto& seq = contigs.back().sequence;
+        seq.reserve(seq.size() + line.size());
+        for (const char c : line) seq.push_back(normalize_base(c));
+      }
+    }
+    i = eol + 1;
+  }
+  return Reference(std::move(contigs));
+}
+
+std::string write_fasta(const Reference& ref) {
+  constexpr std::size_t kWidth = 70;
+  std::string out;
+  for (const auto& contig : ref.contigs()) {
+    out += '>';
+    out += contig.name;
+    out += '\n';
+    for (std::size_t i = 0; i < contig.sequence.size(); i += kWidth) {
+      out += contig.sequence.substr(i, kWidth);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace gpf

@@ -1,0 +1,73 @@
+#include "formats/fastq.hpp"
+
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+/// Returns the next line of `text` starting at `i`, advancing `i` past the
+/// newline.  CR is stripped.
+std::string_view next_line(std::string_view text, std::size_t& i) {
+  std::size_t eol = text.find('\n', i);
+  if (eol == std::string_view::npos) eol = text.size();
+  std::string_view line = text.substr(i, eol - i);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  i = eol + 1;
+  return line;
+}
+
+}  // namespace
+
+std::vector<FastqRecord> parse_fastq(std::string_view text) {
+  std::vector<FastqRecord> records;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::string_view header = next_line(text, i);
+    if (header.empty()) continue;  // tolerate blank trailing lines
+    if (header.front() != '@') {
+      throw std::invalid_argument("FASTQ: expected '@' header");
+    }
+    if (i >= text.size()) throw std::invalid_argument("FASTQ: truncated");
+    const std::string_view seq = next_line(text, i);
+    const std::string_view sep = next_line(text, i);
+    const std::string_view qual = next_line(text, i);
+    if (sep.empty() || sep.front() != '+') {
+      throw std::invalid_argument("FASTQ: expected '+' separator");
+    }
+    if (seq.size() != qual.size()) {
+      throw std::invalid_argument("FASTQ: sequence/quality length mismatch");
+    }
+    records.push_back({std::string(header.substr(1)), std::string(seq),
+                       std::string(qual)});
+  }
+  return records;
+}
+
+std::string write_fastq(const std::vector<FastqRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += '@';
+    out += r.name;
+    out += '\n';
+    out += r.sequence;
+    out += "\n+\n";
+    out += r.quality;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<FastqPair> zip_pairs(std::vector<FastqRecord> first,
+                                 std::vector<FastqRecord> second) {
+  if (first.size() != second.size()) {
+    throw std::invalid_argument("paired FASTQ files differ in read count");
+  }
+  std::vector<FastqPair> pairs;
+  pairs.reserve(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    pairs.push_back({std::move(first[i]), std::move(second[i])});
+  }
+  return pairs;
+}
+
+}  // namespace gpf

@@ -1,0 +1,44 @@
+// FASTQ reads: the sequencer output format consumed by the Aligner stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpf {
+
+/// Sanger Phred+33 quality encoding bounds.  The paper notes a "normal
+/// read" quality character range of [33, 126].
+inline constexpr char kPhredBase = 33;
+inline constexpr char kPhredMax = 126;
+
+/// One sequenced read.
+struct FastqRecord {
+  std::string name;
+  std::string sequence;  // A/C/G/T/N
+  std::string quality;   // Phred+33 chars, same length as sequence
+
+  bool operator==(const FastqRecord&) const = default;
+};
+
+/// A read pair from paired-end sequencing; mates share a name.
+struct FastqPair {
+  FastqRecord first;
+  FastqRecord second;
+
+  bool operator==(const FastqPair&) const = default;
+};
+
+/// Parses 4-line FASTQ text.  Throws std::invalid_argument on structural
+/// errors (bad separators, quality/sequence length mismatch).
+std::vector<FastqRecord> parse_fastq(std::string_view text);
+
+/// Renders records to 4-line FASTQ text.
+std::string write_fastq(const std::vector<FastqRecord>& records);
+
+/// Zips two mate files into pairs; throws if lengths differ.
+std::vector<FastqPair> zip_pairs(std::vector<FastqRecord> first,
+                                 std::vector<FastqRecord> second);
+
+}  // namespace gpf

@@ -1,0 +1,185 @@
+#include "formats/sam.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+/// Splits `line` into tab-separated fields.
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::int64_t to_i64(std::string_view s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("SAM: bad integer field: " + std::string(s));
+  }
+  return v;
+}
+
+std::string_view next_line(std::string_view text, std::size_t& i) {
+  std::size_t eol = text.find('\n', i);
+  if (eol == std::string_view::npos) eol = text.size();
+  std::string_view line = text.substr(i, eol - i);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  i = eol + 1;
+  return line;
+}
+
+}  // namespace
+
+std::int64_t SamRecord::unclipped_start() const {
+  if (is_unmapped()) return pos;
+  if (!is_reverse()) {
+    std::int64_t start = pos;
+    // Leading soft/hard clips shift the unclipped start left.
+    for (const auto& el : cigar) {
+      if (el.op == CigarOp::kSoftClip || el.op == CigarOp::kHardClip) {
+        start -= el.length;
+      } else {
+        break;
+      }
+    }
+    return start;
+  }
+  // Reverse strand: the biological 5' end is the alignment end plus any
+  // trailing clips.
+  std::int64_t end = end_pos();
+  for (auto it = cigar.rbegin(); it != cigar.rend(); ++it) {
+    if (it->op == CigarOp::kSoftClip || it->op == CigarOp::kHardClip) {
+      end += it->length;
+    } else {
+      break;
+    }
+  }
+  return end - 1;
+}
+
+std::int32_t SamHeader::find_contig(std::string_view name) const {
+  for (std::size_t i = 0; i < contigs.size(); ++i) {
+    if (contigs[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+SamFile parse_sam(std::string_view text) {
+  SamFile file;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::string_view line = next_line(text, i);
+    if (line.empty()) continue;
+    if (line.front() == '@') {
+      const auto fields = split_tabs(line);
+      if (fields[0] == "@SQ") {
+        SamHeader::ContigInfo info;
+        for (const auto f : fields) {
+          if (f.starts_with("SN:")) info.name = std::string(f.substr(3));
+          if (f.starts_with("LN:")) info.length = to_i64(f.substr(3));
+        }
+        file.header.contigs.push_back(std::move(info));
+      } else if (fields[0] == "@HD") {
+        for (const auto f : fields) {
+          if (f == "SO:coordinate") file.header.coordinate_sorted = true;
+        }
+      }
+      continue;
+    }
+    const auto fields = split_tabs(line);
+    if (fields.size() < 11) {
+      throw std::invalid_argument("SAM: record with <11 fields");
+    }
+    SamRecord rec;
+    rec.qname = std::string(fields[0]);
+    rec.flag = static_cast<std::uint16_t>(to_i64(fields[1]));
+    rec.contig_id =
+        fields[2] == "*" ? -1 : file.header.find_contig(fields[2]);
+    if (fields[2] != "*" && rec.contig_id < 0) {
+      throw std::invalid_argument("SAM: unknown contig " +
+                                  std::string(fields[2]));
+    }
+    rec.pos = to_i64(fields[3]) - 1;  // SAM text is 1-based
+    rec.mapq = static_cast<std::uint8_t>(to_i64(fields[4]));
+    rec.cigar = parse_cigar(fields[5]);
+    if (fields[6] == "=") {
+      rec.mate_contig_id = rec.contig_id;
+    } else if (fields[6] == "*") {
+      rec.mate_contig_id = -1;
+    } else {
+      rec.mate_contig_id = file.header.find_contig(fields[6]);
+    }
+    rec.mate_pos = to_i64(fields[7]) - 1;
+    rec.tlen = to_i64(fields[8]);
+    rec.sequence = fields[9] == "*" ? "" : std::string(fields[9]);
+    rec.quality = fields[10] == "*" ? "" : std::string(fields[10]);
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::string write_sam(const SamHeader& header,
+                      const std::vector<SamRecord>& records) {
+  std::string out;
+  out += "@HD\tVN:1.6\tSO:";
+  out += header.coordinate_sorted ? "coordinate" : "unsorted";
+  out += '\n';
+  for (const auto& c : header.contigs) {
+    out += "@SQ\tSN:" + c.name + "\tLN:" + std::to_string(c.length) + '\n';
+  }
+  for (const auto& r : records) {
+    out += r.qname;
+    out += '\t';
+    out += std::to_string(r.flag);
+    out += '\t';
+    out += r.contig_id < 0 ? "*" : header.contigs.at(r.contig_id).name;
+    out += '\t';
+    out += std::to_string(r.pos + 1);
+    out += '\t';
+    out += std::to_string(r.mapq);
+    out += '\t';
+    out += cigar_to_string(r.cigar);
+    out += '\t';
+    if (r.mate_contig_id < 0) {
+      out += '*';
+    } else if (r.mate_contig_id == r.contig_id) {
+      out += '=';
+    } else {
+      out += header.contigs.at(r.mate_contig_id).name;
+    }
+    out += '\t';
+    out += std::to_string(r.mate_pos + 1);
+    out += '\t';
+    out += std::to_string(r.tlen);
+    out += '\t';
+    out += r.sequence.empty() ? "*" : r.sequence;
+    out += '\t';
+    out += r.quality.empty() ? "*" : r.quality;
+    out += '\n';
+  }
+  return out;
+}
+
+bool coordinate_less(const SamRecord& a, const SamRecord& b) {
+  const bool a_unmapped = a.is_unmapped() || a.contig_id < 0;
+  const bool b_unmapped = b.is_unmapped() || b.contig_id < 0;
+  if (a_unmapped != b_unmapped) return b_unmapped;  // unmapped sort last
+  if (a_unmapped) return a.qname < b.qname;
+  if (a.contig_id != b.contig_id) return a.contig_id < b.contig_id;
+  if (a.pos != b.pos) return a.pos < b.pos;
+  if (a.is_reverse() != b.is_reverse()) return b.is_reverse();
+  return a.qname < b.qname;
+}
+
+}  // namespace gpf

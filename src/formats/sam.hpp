@@ -1,0 +1,99 @@
+// SAM alignment records (SAM spec v1) — the Cleaner stage's working format.
+//
+// Contigs are referenced by dense integer id into a SamHeader, mirroring
+// BAM's numeric reference ids; -1 means unmapped ("*").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/cigar.hpp"
+
+namespace gpf {
+
+/// SAM FLAG bits (spec section 1.4.2).
+struct SamFlags {
+  static constexpr std::uint16_t kPaired = 0x1;
+  static constexpr std::uint16_t kProperPair = 0x2;
+  static constexpr std::uint16_t kUnmapped = 0x4;
+  static constexpr std::uint16_t kMateUnmapped = 0x8;
+  static constexpr std::uint16_t kReverse = 0x10;
+  static constexpr std::uint16_t kMateReverse = 0x20;
+  static constexpr std::uint16_t kFirstOfPair = 0x40;
+  static constexpr std::uint16_t kSecondOfPair = 0x80;
+  static constexpr std::uint16_t kSecondary = 0x100;
+  static constexpr std::uint16_t kQcFail = 0x200;
+  static constexpr std::uint16_t kDuplicate = 0x400;
+  static constexpr std::uint16_t kSupplementary = 0x800;
+};
+
+/// One alignment record.  Positions are 0-based internally (converted
+/// to/from SAM's 1-based text form at the parser boundary).
+struct SamRecord {
+  std::string qname;
+  std::uint16_t flag = 0;
+  std::int32_t contig_id = -1;  // -1 == unmapped / "*"
+  std::int64_t pos = -1;        // 0-based leftmost mapped base
+  std::uint8_t mapq = 0;
+  Cigar cigar;
+  std::int32_t mate_contig_id = -1;
+  std::int64_t mate_pos = -1;
+  std::int64_t tlen = 0;
+  std::string sequence;
+  std::string quality;  // Phred+33
+
+  bool is_unmapped() const { return flag & SamFlags::kUnmapped; }
+  bool is_reverse() const { return flag & SamFlags::kReverse; }
+  bool is_duplicate() const { return flag & SamFlags::kDuplicate; }
+  bool is_paired() const { return flag & SamFlags::kPaired; }
+  bool is_secondary() const { return flag & SamFlags::kSecondary; }
+  bool is_first_of_pair() const { return flag & SamFlags::kFirstOfPair; }
+
+  /// Exclusive end of the reference span covered by this alignment.
+  std::int64_t end_pos() const {
+    return pos + cigar_reference_length(cigar);
+  }
+
+  /// The "unclipped" 5'-start used for duplicate marking: the position the
+  /// read would start at if soft clips were part of the alignment.  For
+  /// reverse-strand reads this is the unclipped *end*.
+  std::int64_t unclipped_start() const;
+
+  bool operator==(const SamRecord&) const = default;
+};
+
+/// Sequence dictionary: contig names/lengths, plus the sort state tag.
+struct SamHeader {
+  struct ContigInfo {
+    std::string name;
+    std::int64_t length = 0;
+    bool operator==(const ContigInfo&) const = default;
+  };
+
+  std::vector<ContigInfo> contigs;
+  bool coordinate_sorted = false;
+
+  std::int32_t find_contig(std::string_view name) const;
+
+  bool operator==(const SamHeader&) const = default;
+};
+
+/// Parses SAM text (header "@" lines populate the returned header).
+/// Throws std::invalid_argument on malformed records.
+struct SamFile {
+  SamHeader header;
+  std::vector<SamRecord> records;
+};
+SamFile parse_sam(std::string_view text);
+
+/// Renders header + records to SAM text.
+std::string write_sam(const SamHeader& header,
+                      const std::vector<SamRecord>& records);
+
+/// Total ordering for coordinate sorting: (contig, pos, reverse flag,
+/// qname) with unmapped records last.
+bool coordinate_less(const SamRecord& a, const SamRecord& b);
+
+}  // namespace gpf

@@ -1,0 +1,158 @@
+#include "formats/vcf.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpf {
+namespace {
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::string_view next_line(std::string_view text, std::size_t& i) {
+  std::size_t eol = text.find('\n', i);
+  if (eol == std::string_view::npos) eol = text.size();
+  std::string_view line = text.substr(i, eol - i);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  i = eol + 1;
+  return line;
+}
+
+const char* genotype_string(Genotype g) {
+  switch (g) {
+    case Genotype::kHomRef:
+      return "0/0";
+    case Genotype::kHet:
+      return "0/1";
+    case Genotype::kHomAlt:
+      return "1/1";
+  }
+  return "./.";
+}
+
+}  // namespace
+
+VcfFile parse_vcf(std::string_view text) {
+  VcfFile file;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::string_view line = next_line(text, i);
+    if (line.empty()) continue;
+    if (line.starts_with("##")) {
+      // ##contig=<ID=name,length=N>
+      if (line.starts_with("##contig=<")) {
+        SamHeader::ContigInfo info;
+        std::string_view body = line.substr(10);
+        if (!body.empty() && body.back() == '>') body.remove_suffix(1);
+        std::size_t start = 0;
+        while (start <= body.size()) {
+          std::size_t comma = body.find(',', start);
+          if (comma == std::string_view::npos) comma = body.size();
+          const std::string_view kv = body.substr(start, comma - start);
+          if (kv.starts_with("ID=")) info.name = std::string(kv.substr(3));
+          if (kv.starts_with("length=")) {
+            std::int64_t v = 0;
+            std::from_chars(kv.data() + 7, kv.data() + kv.size(), v);
+            info.length = v;
+          }
+          start = comma + 1;
+        }
+        file.header.contigs.push_back(std::move(info));
+      }
+      continue;
+    }
+    if (line.starts_with("#CHROM")) {
+      const auto fields = split_tabs(line);
+      if (fields.size() >= 10) file.header.sample_name = fields[9];
+      continue;
+    }
+    const auto fields = split_tabs(line);
+    if (fields.size() < 8) throw std::invalid_argument("VCF: short record");
+    VcfRecord rec;
+    rec.contig_id = -1;
+    for (std::size_t c = 0; c < file.header.contigs.size(); ++c) {
+      if (file.header.contigs[c].name == fields[0]) {
+        rec.contig_id = static_cast<std::int32_t>(c);
+        break;
+      }
+    }
+    if (rec.contig_id < 0) {
+      // Tolerate files without ##contig lines: synthesize ids in order of
+      // appearance.
+      file.header.contigs.push_back({std::string(fields[0]), 0});
+      rec.contig_id = static_cast<std::int32_t>(file.header.contigs.size() - 1);
+    }
+    std::int64_t pos1 = 0;
+    std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(),
+                    pos1);
+    rec.pos = pos1 - 1;
+    rec.id = std::string(fields[2]);
+    rec.ref = std::string(fields[3]);
+    rec.alt = std::string(fields[4]);
+    if (rec.alt.find(',') != std::string::npos) {
+      throw std::invalid_argument("VCF: multi-allelic sites unsupported");
+    }
+    if (fields[5] != ".") {
+      rec.qual = std::strtod(std::string(fields[5]).c_str(), nullptr);
+    }
+    if (fields.size() >= 10) {
+      const std::string_view gt = fields[9].substr(0, 3);
+      if (gt == "0/0") rec.genotype = Genotype::kHomRef;
+      else if (gt == "1/1") rec.genotype = Genotype::kHomAlt;
+      else rec.genotype = Genotype::kHet;
+    }
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::string write_vcf(const VcfHeader& header,
+                      const std::vector<VcfRecord>& records) {
+  std::string out = "##fileformat=VCFv4.2\n";
+  for (const auto& c : header.contigs) {
+    out += "##contig=<ID=" + c.name + ",length=" + std::to_string(c.length) +
+           ">\n";
+  }
+  out += "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t" +
+         header.sample_name + '\n';
+  for (const auto& r : records) {
+    char qual[32];
+    std::snprintf(qual, sizeof qual, "%.2f", r.qual);
+    out += header.contigs.at(r.contig_id).name;
+    out += '\t';
+    out += std::to_string(r.pos + 1);
+    out += '\t';
+    out += r.id;
+    out += '\t';
+    out += r.ref;
+    out += '\t';
+    out += r.alt;
+    out += '\t';
+    out += qual;
+    out += "\tPASS\t.\tGT\t";
+    out += genotype_string(r.genotype);
+    out += '\n';
+  }
+  return out;
+}
+
+bool vcf_less(const VcfRecord& a, const VcfRecord& b) {
+  if (a.contig_id != b.contig_id) return a.contig_id < b.contig_id;
+  if (a.pos != b.pos) return a.pos < b.pos;
+  if (a.ref != b.ref) return a.ref < b.ref;
+  return a.alt < b.alt;
+}
+
+}  // namespace gpf

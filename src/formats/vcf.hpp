@@ -1,0 +1,60 @@
+// VCF variant records — the Caller stage's output and the "known sites"
+// input to BQSR (the paper's dbsnp resource).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/sam.hpp"
+
+namespace gpf {
+
+/// Diploid genotype call.
+enum class Genotype : std::uint8_t {
+  kHomRef = 0,  // 0/0
+  kHet = 1,     // 0/1
+  kHomAlt = 2,  // 1/1
+};
+
+/// One variant site.  Positions are 0-based internally.
+struct VcfRecord {
+  std::int32_t contig_id = -1;
+  std::int64_t pos = -1;
+  std::string id = ".";
+  std::string ref;
+  std::string alt;
+  double qual = 0.0;
+  Genotype genotype = Genotype::kHet;
+
+  bool is_snp() const { return ref.size() == 1 && alt.size() == 1; }
+  bool is_insertion() const { return alt.size() > ref.size(); }
+  bool is_deletion() const { return ref.size() > alt.size(); }
+
+  bool operator==(const VcfRecord&) const = default;
+};
+
+/// Header metadata for VCF output (contig dictionary reused from SAM).
+struct VcfHeader {
+  std::vector<SamHeader::ContigInfo> contigs;
+  std::string sample_name = "SAMPLE";
+};
+
+struct VcfFile {
+  VcfHeader header;
+  std::vector<VcfRecord> records;
+};
+
+/// Parses VCF text.  Only single-allele sites are supported (matching the
+/// simulator's output); multi-allelic rows raise std::invalid_argument.
+VcfFile parse_vcf(std::string_view text);
+
+/// Renders header + records to VCF 4.2 text.
+std::string write_vcf(const VcfHeader& header,
+                      const std::vector<VcfRecord>& records);
+
+/// Sort order used everywhere: (contig, pos, ref, alt).
+bool vcf_less(const VcfRecord& a, const VcfRecord& b);
+
+}  // namespace gpf

@@ -1,0 +1,158 @@
+// Trace-driven cluster simulator.
+//
+// The paper evaluates on a 240-node / 2048-core Spark cluster.  We measure
+// real per-task compute times on the local thread pool (src/engine records
+// them) and replay the task DAG here on a virtual cluster with configurable
+// cores, disk bandwidth and network bandwidth.  Strong-scaling curves,
+// blocked-time analysis (Ousterhout et al., NSDI'15 — the method the paper
+// itself uses in Sec 5.3) and utilization timelines all come from this
+// replay.
+//
+// Model: stages run in sequence (Spark's stage barrier).  Within a stage,
+// tasks are list-scheduled longest-processing-time-first onto core slots.
+// A task occupies its core for compute + disk + network time; disk and
+// network components use a static contention model (per-core share of the
+// node's bandwidth), which keeps the replay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpf::sim {
+
+/// Virtual cluster parameters.  Defaults approximate the paper's testbed:
+/// 64GB nodes whose page cache absorbs shuffle spills (effective ~1 GB/s
+/// per node; the 7200rpm spindle only throttles cold spills), FDR
+/// InfiniBand derated to what Spark's shuffle layer achieves, 10 usable
+/// cores per node.
+struct ClusterConfig {
+  std::size_t nodes = 205;
+  std::size_t cores_per_node = 10;
+  /// Multiplier applied to measured compute seconds (1.0 = local core
+  /// speed).
+  double core_speed = 1.0;
+  /// Per-node effective shuffle-spill bandwidth, bytes/second (spills are
+  /// absorbed by the page cache on 64GB nodes).
+  double disk_bw_per_node = 1.0e9;
+  /// Per-node bandwidth for cold file traffic — stage files written and
+  /// re-read through the spindle (7200rpm SATA), the cost that file-based
+  /// pipelines like Churchill pay at every stage boundary.
+  double cold_disk_bw_per_node = 120e6;
+  /// Per-node effective network bandwidth, bytes/second.
+  double net_bw_per_node = 2.0e9;
+  /// Fixed per-task scheduling/launch overhead, seconds.
+  double task_overhead = 0.002;
+
+  std::size_t total_cores() const { return nodes * cores_per_node; }
+
+  /// Convenience: a config with exactly `cores` total, keeping 10
+  /// cores/node like the paper's setup.
+  static ClusterConfig with_cores(std::size_t cores);
+};
+
+/// One simulated task.
+struct SimTask {
+  double compute_seconds = 0.0;
+  std::uint64_t disk_bytes = 0;  // shuffle spill/read (page-cache rate)
+  std::uint64_t net_bytes = 0;   // bytes crossing the network
+  std::uint64_t cold_disk_bytes = 0;  // stage files (spindle rate)
+};
+
+/// One stage: a set of independent tasks separated from the next stage by
+/// a barrier.
+struct SimStage {
+  std::string name;
+  std::vector<SimTask> tasks;
+  /// Phase label used by the utilization/blocked-time reports
+  /// ("aligner" / "cleaner" / "caller" / "io").
+  std::string phase;
+};
+
+/// A job is an ordered list of stages.
+struct SimJob {
+  std::vector<SimStage> stages;
+
+  /// Total compute seconds across all tasks.
+  double total_compute_seconds() const;
+  std::uint64_t total_disk_bytes() const;
+  std::uint64_t total_net_bytes() const;
+};
+
+/// Per-stage outcome of a replay.
+struct SimStageResult {
+  std::string name;
+  std::string phase;
+  double start = 0.0;
+  double duration = 0.0;
+  double compute_seconds = 0.0;  // sum over tasks
+  double disk_seconds = 0.0;
+  double net_seconds = 0.0;
+  std::size_t task_count = 0;
+};
+
+/// Utilization sample (one per timeline bucket).
+struct UtilSample {
+  double time = 0.0;           // bucket start
+  double cpu_fraction = 0.0;   // busy cores / total cores
+  double disk_bytes_per_s = 0.0;
+  double net_bytes_per_s = 0.0;
+};
+
+/// Replay outcome.
+struct SimResult {
+  double makespan = 0.0;
+  double total_compute_seconds = 0.0;
+  double total_disk_seconds = 0.0;
+  double total_net_seconds = 0.0;
+  std::vector<SimStageResult> stages;
+
+  /// Core-hours consumed (cores reserved for the whole makespan, the
+  /// accounting the paper's Table 4 uses).
+  double core_hours(const ClusterConfig& cluster) const;
+
+  /// Fraction of the makespan attributable to blocked disk / network time,
+  /// on the critical path approximation (task components summed per stage
+  /// and scaled by stage duration share).
+  double disk_fraction() const;
+  double net_fraction() const;
+};
+
+/// Simulates `job` on `cluster`.
+SimResult simulate(const SimJob& job, const ClusterConfig& cluster);
+
+/// Blocked-time analysis: improvement in job completion time when all
+/// disk (resp. network) time is removed, as a fraction in [0, 1).  This is
+/// the paper's Fig 12 metric.
+struct BlockedTimeResult {
+  double base_makespan = 0.0;
+  double no_disk_makespan = 0.0;
+  double no_net_makespan = 0.0;
+
+  double disk_improvement() const {
+    return base_makespan <= 0.0
+               ? 0.0
+               : 1.0 - no_disk_makespan / base_makespan;
+  }
+  double net_improvement() const {
+    return base_makespan <= 0.0 ? 0.0 : 1.0 - no_net_makespan / base_makespan;
+  }
+};
+BlockedTimeResult blocked_time_analysis(const SimJob& job,
+                                        const ClusterConfig& cluster);
+
+/// Samples the run into `buckets` utilization samples for timeline plots
+/// (paper Fig 13).
+std::vector<UtilSample> utilization_timeline(const SimJob& job,
+                                             const ClusterConfig& cluster,
+                                             std::size_t buckets);
+
+/// Replicates every stage's task list `factor` times — used to scale a
+/// locally-measured trace up to the paper's dataset size while preserving
+/// the task-time distribution (and therefore the skew).
+SimJob replicate_tasks(const SimJob& job, std::size_t factor);
+
+/// Scales compute seconds and byte volumes of every task.
+SimJob scale_job(const SimJob& job, double compute_scale, double bytes_scale);
+
+}  // namespace gpf::sim

@@ -1,0 +1,66 @@
+// Shared-filesystem contention model for the paper's Table 1 motivation
+// experiment: a disk-file-based WGS pipeline run on 1..30 samples
+// concurrently over Lustre or NFS, where every inter-stage handoff is a
+// file read/write against the shared filesystem.
+//
+// As samples are added, each sample's share of the aggregate filesystem
+// bandwidth shrinks while its CPU work is unchanged, so the I/O fraction
+// of total runtime grows — the paper measures 29% -> 60% (Lustre) and
+// 25% -> 74% (NFS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpf::sim {
+
+/// A shared filesystem with an aggregate bandwidth ceiling and a per-client
+/// cap (one client = one sample's worth of processes).
+struct SharedFsConfig {
+  std::string name;
+  /// Aggregate bandwidth across all clients, bytes/second.
+  double aggregate_bw = 8e9;
+  /// Per-client ceiling (a single sample cannot exceed this even when the
+  /// filesystem is idle), bytes/second.
+  double per_client_bw = 1.2e9;
+  /// Metadata/protocol efficiency under concurrency: effective aggregate
+  /// bandwidth is aggregate_bw * pow(efficiency, clients-1).  NFS degrades
+  /// faster than Lustre.
+  double concurrency_efficiency = 1.0;
+
+  static SharedFsConfig lustre();
+  static SharedFsConfig nfs();
+};
+
+/// One pipeline step of a disk-file pipeline: CPU seconds (per sample, at
+/// the given core count) plus the file bytes read and written through the
+/// shared filesystem.
+struct FilePipelineStep {
+  std::string name;
+  double cpu_core_seconds = 0.0;  // total core-seconds of compute
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+/// Outcome of running `samples` concurrent pipelines.
+struct SharedFsResult {
+  double total_seconds = 0.0;
+  double io_seconds = 0.0;
+  double cpu_seconds = 0.0;
+
+  double io_fraction() const {
+    return total_seconds <= 0.0 ? 0.0 : io_seconds / total_seconds;
+  }
+  double cpu_fraction() const { return 1.0 - io_fraction(); }
+};
+
+/// Runs `samples` identical pipelines concurrently, `cores_per_sample`
+/// cores each, with all file I/O contending on `fs`.  Returns the
+/// per-sample time breakdown (all samples are symmetric).
+SharedFsResult run_file_pipeline(const std::vector<FilePipelineStep>& steps,
+                                 std::size_t samples,
+                                 std::size_t cores_per_sample,
+                                 const SharedFsConfig& fs);
+
+}  // namespace gpf::sim

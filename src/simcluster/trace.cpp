@@ -1,0 +1,70 @@
+#include "simcluster/trace.hpp"
+
+#include <algorithm>
+
+namespace gpf::sim {
+namespace {
+
+std::string default_phase(const std::string& stage_name) {
+  const std::size_t cut = stage_name.find_first_of("./");
+  return cut == std::string::npos ? stage_name : stage_name.substr(0, cut);
+}
+
+}  // namespace
+
+SimJob trace_job(const engine::EngineMetrics& metrics,
+                 const TraceOptions& options) {
+  const auto phase_of =
+      options.phase_of ? options.phase_of : default_phase;
+  SimJob job;
+  for (const auto& stage : metrics.stages()) {
+    SimStage s;
+    s.name = stage.name;
+    s.phase = phase_of(stage.name);
+    const std::size_t n = stage.task_seconds.size();
+    s.tasks.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.tasks[i].compute_seconds =
+          stage.task_seconds[i] * options.compute_scale;
+    }
+
+    enum class DiskKind { kNone, kSpill, kCold };
+    auto spread = [&](std::uint64_t bytes, std::size_t lo, std::size_t hi,
+                      DiskKind disk_kind, bool to_net) {
+      if (hi <= lo || bytes == 0) return;
+      const auto scaled = static_cast<std::uint64_t>(
+          static_cast<double>(bytes) * options.bytes_scale);
+      const std::uint64_t share = scaled / (hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (disk_kind == DiskKind::kSpill) s.tasks[i].disk_bytes += share;
+        if (disk_kind == DiskKind::kCold) {
+          s.tasks[i].cold_disk_bytes += share;
+        }
+        if (to_net) {
+          s.tasks[i].net_bytes += static_cast<std::uint64_t>(
+              static_cast<double>(share) * options.remote_read_fraction);
+        }
+      }
+    };
+
+    if (stage.wide && n > 0) {
+      const std::size_t n_map = std::min(stage.map_task_count, n);
+      // Map side writes shuffle blocks to local disk (page-cache spill).
+      spread(stage.shuffle_write_bytes, 0, n_map, DiskKind::kSpill,
+             /*net=*/false);
+      // Reduce side reads them: from disk and over the network for the
+      // remote fraction.
+      spread(stage.shuffle_read_bytes, n_map, n, DiskKind::kSpill,
+             /*net=*/true);
+    }
+    // External input/output (loading FASTQ from the storage subsystem,
+    // stage files, the result VCF) is cold file traffic across all tasks.
+    spread(stage.input_bytes, 0, n, DiskKind::kCold, /*net=*/false);
+    spread(stage.output_bytes, 0, n, DiskKind::kCold, /*net=*/false);
+
+    job.stages.push_back(std::move(s));
+  }
+  return job;
+}
+
+}  // namespace gpf::sim

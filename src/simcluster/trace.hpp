@@ -1,0 +1,38 @@
+// Converts a locally-executed engine run (EngineMetrics) into a SimJob the
+// cluster simulator can replay at arbitrary core counts.
+//
+// Byte mapping follows Spark's shuffle mechanics, which the paper leans on:
+// map tasks write shuffle blocks to local disk, reduce tasks read them
+// (mostly over the network, then from the remote disk).  Stage input/output
+// bytes — set by load/save stages — become disk traffic spread over the
+// stage's tasks.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "engine/metrics.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace gpf::sim {
+
+struct TraceOptions {
+  /// Scales measured local compute seconds (e.g. to account for dataset
+  /// scale-up when bytes are scaled too).
+  double compute_scale = 1.0;
+  /// Scales all byte volumes (shuffle + input/output).
+  double bytes_scale = 1.0;
+  /// Fraction of shuffle reads crossing the network (the rest are
+  /// node-local blocks).  Spark's default placement gives roughly
+  /// (nodes-1)/nodes; 0.9 is a good approximation for large clusters.
+  double remote_read_fraction = 0.9;
+  /// Maps a stage name to a phase label for the reports; the default takes
+  /// the prefix before the first '.' or '/'.
+  std::function<std::string(const std::string&)> phase_of;
+};
+
+/// Builds a SimJob from recorded engine metrics.
+SimJob trace_job(const engine::EngineMetrics& metrics,
+                 const TraceOptions& options = {});
+
+}  // namespace gpf::sim

@@ -1,0 +1,97 @@
+#include "simdata/quality_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpf::simdata {
+
+QualityProfile QualityProfile::srr622461() {
+  QualityProfile p;
+  p.start_quality = 70.0;
+  p.decay_per_cycle = 0.06;
+  p.walk_sigma = 1.0;
+  p.dropout_rate = 0.0015;
+  return p;
+}
+
+QualityProfile QualityProfile::srr504516() {
+  QualityProfile p;
+  p.start_quality = 66.0;
+  p.decay_per_cycle = 0.12;
+  p.walk_sigma = 2.2;
+  p.dropout_rate = 0.004;
+  p.min_quality = 35;
+  p.max_quality = 72;
+  return p;
+}
+
+QualityProfile QualityProfile::novaseq_binned() {
+  QualityProfile p;
+  p.start_quality = 69.0;
+  p.decay_per_cycle = 0.05;
+  p.walk_sigma = 1.6;
+  p.dropout_rate = 0.002;
+  p.bin_qualities = true;
+  return p;
+}
+
+char QualityProfile::bin_quality(char q) {
+  // RTA bin representatives (Phred): 2, 12, 23, 27, 32, 37, 41 — plus a
+  // top bin for anything higher.  Char space = Phred + 33.
+  static constexpr int kBins[] = {2, 12, 23, 27, 32, 37, 41, 45};
+  const int phred = q - 33;
+  int best = kBins[0];
+  for (const int b : kBins) {
+    if (std::abs(phred - b) < std::abs(phred - best)) best = b;
+  }
+  return static_cast<char>(best + 33);
+}
+
+std::string QualityProfile::sample_read(Rng& rng, int read_length) const {
+  std::string qual(static_cast<std::size_t>(read_length), '\0');
+  double level = start_quality + rng.normal() * 1.5;
+  for (int i = 0; i < read_length; ++i) {
+    if (rng.chance(dropout_rate)) {
+      // Bad-cycle burst: quality plummets for a few bases then recovers.
+      const int burst = static_cast<int>(rng.range(2, 6));
+      const double low = static_cast<double>(min_quality) + rng.uniform() * 4;
+      for (int j = 0; j < burst && i < read_length; ++j, ++i) {
+        qual[static_cast<std::size_t>(i)] = static_cast<char>(low);
+      }
+      --i;  // loop increment compensates
+      continue;
+    }
+    // Mean curve + small-step walk.
+    const double target =
+        start_quality - decay_per_cycle * static_cast<double>(i);
+    level += 0.25 * (target - level) + rng.normal() * walk_sigma * 0.5;
+    const double clamped =
+        std::clamp(level, static_cast<double>(min_quality),
+                   static_cast<double>(max_quality));
+    qual[static_cast<std::size_t>(i)] =
+        static_cast<char>(std::lround(clamped));
+  }
+  if (bin_qualities) {
+    for (auto& c : qual) c = bin_quality(c);
+  }
+  return qual;
+}
+
+QualityDistributions collect_distributions(const QualityProfile& profile,
+                                           std::size_t reads, int read_length,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  QualityDistributions dist;
+  for (std::size_t r = 0; r < reads; ++r) {
+    const std::string q = profile.sample_read(rng, read_length);
+    char prev = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      dist.scores.add(q[i]);
+      if (i > 0) dist.deltas.add(static_cast<int>(q[i]) - prev);
+      prev = q[i];
+    }
+  }
+  return dist;
+}
+
+}  // namespace gpf::simdata

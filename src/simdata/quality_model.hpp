@@ -1,0 +1,62 @@
+// Empirical Illumina quality-score model.
+//
+// The paper's Fig 5 shows two properties the compressor exploits: raw
+// quality scores cluster in a narrow high band (peaks near char 70 for
+// SRR622461), and *adjacent* score differences are tightly concentrated
+// around zero.  We model per-read quality as a mean curve that decays
+// toward the 3' end plus a small-step random walk, which reproduces both
+// distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+
+namespace gpf::simdata {
+
+struct QualityProfile {
+  /// Quality (Phred+33 char value) at cycle 0.
+  double start_quality = 70.0;
+  /// Linear decay per cycle toward the read end.
+  double decay_per_cycle = 0.08;
+  /// Random-walk step scale (most steps are 0 or +-1).
+  double walk_sigma = 1.2;
+  /// Probability of a quality "dropout" (a burst of low scores, modeling
+  /// a bad cycle).
+  double dropout_rate = 0.002;
+  char min_quality = 35;
+  char max_quality = 74;
+  /// Quantize scores to Illumina's RTA 8-bin set (NovaSeq-style).  Binned
+  /// qualities have far lower delta entropy, which is why modern
+  /// instruments bin: compression (paper Sec 4.2) gets dramatically
+  /// easier.
+  bool bin_qualities = false;
+
+  /// HiSeq-2000-like profile (the paper's SRR622461 sample).
+  static QualityProfile srr622461();
+  /// GA-IIx-like profile with a broader distribution (SRR504516).
+  static QualityProfile srr504516();
+  /// NovaSeq-like profile with RTA 8-bin quantization.
+  static QualityProfile novaseq_binned();
+
+  /// Maps a raw quality char to its RTA bin representative.
+  static char bin_quality(char q);
+
+  /// Draws a full quality string of `read_length` characters.
+  std::string sample_read(Rng& rng, int read_length) const;
+};
+
+/// Distribution pair used by the Fig 5 bench.
+struct QualityDistributions {
+  Histogram scores;  // raw char values
+  Histogram deltas;  // adjacent differences
+};
+
+/// Samples `reads` reads of `read_length` and collects both histograms.
+QualityDistributions collect_distributions(const QualityProfile& profile,
+                                           std::size_t reads, int read_length,
+                                           std::uint64_t seed);
+
+}  // namespace gpf::simdata

@@ -1,0 +1,215 @@
+#include "simdata/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "simdata/reference_gen.hpp"
+
+namespace gpf::simdata {
+namespace {
+
+/// Phred error probability for a quality char.
+double error_prob(char qual_char) {
+  const int q = qual_char - kPhredBase;
+  return std::pow(10.0, -q / 10.0);
+}
+
+/// Weighted region table for hotspot-skewed fragment sampling.
+struct RegionTable {
+  struct Region {
+    std::int32_t contig_id;
+    std::int64_t start;
+    std::int64_t length;
+    double cumulative_weight;  // upper bound of this region's weight band
+  };
+  std::vector<Region> regions;
+  double total_weight = 0.0;
+
+  /// Picks a (contig, position) weighted by region weight.
+  std::pair<std::int32_t, std::int64_t> sample(Rng& rng) const {
+    const double r = rng.uniform() * total_weight;
+    // Binary search the cumulative weight bands.
+    auto it = std::lower_bound(
+        regions.begin(), regions.end(), r,
+        [](const Region& reg, double v) { return reg.cumulative_weight < v; });
+    if (it == regions.end()) it = std::prev(regions.end());
+    const std::int64_t offset =
+        static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(1, it->length))));
+    return {it->contig_id, it->start + offset};
+  }
+};
+
+RegionTable build_region_table(const Reference& reference,
+                               const ReadSimSpec& spec, Rng& rng) {
+  RegionTable table;
+  constexpr std::int64_t kRegion = 10'000;
+  // First pass: flat regions.
+  for (std::size_t cid = 0; cid < reference.contig_count(); ++cid) {
+    const auto len = static_cast<std::int64_t>(
+        reference.contig(static_cast<std::int32_t>(cid)).sequence.size());
+    for (std::int64_t start = 0; start < len; start += kRegion) {
+      table.regions.push_back(
+          {static_cast<std::int32_t>(cid), start,
+           std::min(kRegion, len - start), 0.0});
+    }
+  }
+  // Capture-target weighting (exome/panel mode): on-target regions share
+  // on_target_fraction of the sampling mass; everything else is capture
+  // leakage.
+  const IntervalSet target_set(spec.targets);
+  // Promote an exact share of regions to hotspots (at least one when a
+  // multiplier is requested), so small genomes still get the skew the
+  // spec asked for.
+  std::vector<double> weights(table.regions.size());
+  for (std::size_t i = 0; i < table.regions.size(); ++i) {
+    weights[i] = static_cast<double>(table.regions[i].length);
+  }
+  if (!target_set.empty()) {
+    double on = 0.0, off = 0.0;
+    std::vector<bool> on_target(table.regions.size());
+    for (std::size_t i = 0; i < table.regions.size(); ++i) {
+      const auto& r = table.regions[i];
+      on_target[i] = target_set.overlaps(r.contig_id, r.start,
+                                         r.start + r.length);
+      (on_target[i] ? on : off) += weights[i];
+    }
+    if (on > 0.0) {
+      for (std::size_t i = 0; i < table.regions.size(); ++i) {
+        weights[i] *= on_target[i]
+                          ? spec.on_target_fraction / on
+                          : (off > 0.0
+                                 ? (1.0 - spec.on_target_fraction) / off
+                                 : 0.0);
+      }
+    }
+  }
+  if (spec.hotspot_multiplier > 1.0 && spec.hotspot_fraction > 0.0) {
+    const auto hotspots = std::max<std::size_t>(
+        1, static_cast<std::size_t>(spec.hotspot_fraction *
+                                    static_cast<double>(
+                                        table.regions.size())));
+    for (std::size_t h = 0; h < hotspots; ++h) {
+      weights[rng.below(weights.size())] *= spec.hotspot_multiplier;
+    }
+  }
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < table.regions.size(); ++i) {
+    cumulative += weights[i];
+    table.regions[i].cumulative_weight = cumulative;
+  }
+  table.total_weight = cumulative;
+  return table;
+}
+
+/// Applies sequencing errors in place, guided by the quality string.
+void apply_errors(std::string& seq, const std::string& qual, Rng& rng) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == 'N') continue;
+    if (rng.uniform() < error_prob(qual[i])) {
+      char c;
+      do {
+        c = kBases[rng.below(4)];
+      } while (c == seq[i]);
+      seq[i] = c;
+    }
+  }
+}
+
+struct Fragment {
+  std::int32_t contig_id;
+  std::int64_t donor_start;
+  std::int64_t ref_start;
+  int hap;
+  std::int64_t length;
+};
+
+}  // namespace
+
+SimulatedSample simulate_reads(const Reference& reference, const Donor& donor,
+                               const ReadSimSpec& spec) {
+  if (spec.read_length <= 0) throw std::invalid_argument("read_length <= 0");
+  Rng rng(spec.seed);
+  const RegionTable table = build_region_table(reference, spec, rng);
+
+  const double genome_len = static_cast<double>(reference.total_length());
+  const auto pair_target = static_cast<std::size_t>(
+      genome_len * spec.coverage /
+      (2.0 * static_cast<double>(spec.read_length)));
+
+  SimulatedSample out;
+  out.pairs.reserve(pair_target);
+
+  std::vector<Fragment> recent;  // duplicate pool
+  std::size_t serial = 0;
+
+  auto emit_pair = [&](const Fragment& frag, bool is_duplicate) {
+    const std::string& hap_seq = donor.haplotype(frag.contig_id, frag.hap);
+    const std::string fragment =
+        hap_seq.substr(static_cast<std::size_t>(frag.donor_start),
+                       static_cast<std::size_t>(frag.length));
+    const int rl = spec.read_length;
+    std::string r1 = fragment.substr(0, static_cast<std::size_t>(rl));
+    std::string r2 = reverse_complement(
+        fragment.substr(fragment.size() - static_cast<std::size_t>(rl)));
+    std::string q1 = spec.quality.sample_read(rng, rl);
+    std::string q2 = spec.quality.sample_read(rng, rl);
+    apply_errors(r1, q1, rng);
+    apply_errors(r2, q2, rng);
+    const std::string name =
+        "sim:" + reference.contig(frag.contig_id).name + ":" +
+        std::to_string(frag.ref_start) + ":" + std::to_string(serial++) +
+        (is_duplicate ? ":dup" : "");
+    out.pairs.push_back({{name + "/1", std::move(r1), std::move(q1)},
+                         {name + "/2", std::move(r2), std::move(q2)}});
+    if (is_duplicate) ++out.duplicate_pairs;
+  };
+
+  while (out.pairs.size() < pair_target) {
+    if (!recent.empty() && rng.chance(spec.duplicate_fraction)) {
+      emit_pair(recent[rng.below(recent.size())], /*is_duplicate=*/true);
+      continue;
+    }
+    const int hap = static_cast<int>(rng.below(2));
+    const auto [contig_id, ref_pos] = table.sample(rng);
+    const auto frag_len = static_cast<std::int64_t>(std::max(
+        static_cast<double>(spec.read_length) + 2.0,
+        spec.fragment_mean + rng.normal() * spec.fragment_sd));
+    const std::string& hap_seq = donor.haplotype(contig_id, hap);
+    // Approximate the donor coordinate with the reference one; indel shift
+    // is tiny compared to contig length, and we clamp to bounds.
+    std::int64_t start = std::min(
+        ref_pos,
+        static_cast<std::int64_t>(hap_seq.size()) - frag_len - 1);
+    if (start < 0) continue;  // contig shorter than the fragment
+    const std::string_view window(hap_seq.data() +
+                                      static_cast<std::size_t>(start),
+                                  static_cast<std::size_t>(frag_len));
+    if (window.find('N') != std::string_view::npos) continue;  // gap
+    Fragment frag{contig_id, start,
+                  donor.to_reference(contig_id, hap, start), hap, frag_len};
+    emit_pair(frag, /*is_duplicate=*/false);
+    if (recent.size() < 4096) {
+      recent.push_back(frag);
+    } else {
+      recent[rng.below(recent.size())] = frag;
+    }
+  }
+  return out;
+}
+
+Workload make_workload(std::int64_t genome_length, int contigs,
+                       const ReadSimSpec& spec, const VariantSpec& variants) {
+  Workload w;
+  w.reference = generate_reference(
+      ReferenceSpec::genome(genome_length, contigs, spec.seed ^ 0xabcdef));
+  w.truth = spawn_variants(w.reference, variants);
+  const Donor donor(w.reference, w.truth);
+  w.sample = simulate_reads(w.reference, donor, spec);
+  return w;
+}
+
+}  // namespace gpf::simdata

@@ -1,0 +1,71 @@
+// Illumina-like paired-end read simulator.
+//
+// Fragments are drawn from a diploid donor genome (truth variants applied)
+// with an optionally skewed coverage landscape: a configurable fraction of
+// the genome is covered at `hotspot_multiplier` times the base depth.
+// That skew is the load-imbalance driver behind the paper's dynamic
+// repartition mechanism (Sec 4.4: "the depth of coverage of a targeted
+// base is beyond 10,000x").
+//
+// Read names encode the truth origin ("sim:<contig>:<refpos>:<serial>"),
+// which the aligner tests use to score mapping accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/bed.hpp"
+#include "formats/fastq.hpp"
+#include "formats/fasta.hpp"
+#include "formats/vcf.hpp"
+#include "simdata/quality_model.hpp"
+#include "simdata/variant_gen.hpp"
+
+namespace gpf::simdata {
+
+struct ReadSimSpec {
+  int read_length = 100;
+  double coverage = 30.0;
+  /// Mean / stddev of the sequenced fragment (insert) length.
+  double fragment_mean = 350.0;
+  double fragment_sd = 40.0;
+  /// Fraction of emitted pairs that are PCR duplicates of a previous
+  /// fragment (re-sequenced with fresh errors).
+  double duplicate_fraction = 0.05;
+  /// Fraction of the genome designated as coverage hotspots, and the
+  /// multiplier applied to their sampling weight.
+  double hotspot_fraction = 0.01;
+  double hotspot_multiplier = 1.0;  // 1.0 = uniform coverage
+  /// Capture targets (exome/panel mode): fragments are drawn only from
+  /// regions overlapping these intervals (plus on_target_fraction of
+  /// off-target noise, as real hybrid capture leaks).  Empty = WGS.
+  std::vector<BedInterval> targets;
+  double on_target_fraction = 0.95;
+  QualityProfile quality = QualityProfile::srr622461();
+  std::uint64_t seed = 1234;
+};
+
+struct SimulatedSample {
+  std::vector<FastqPair> pairs;
+  /// Number of pairs that are PCR duplicates (ground truth for the
+  /// MarkDuplicate tests).
+  std::size_t duplicate_pairs = 0;
+};
+
+/// Simulates a whole sample against `donor`.  Pair count is derived from
+/// coverage: coverage * genome_length / (2 * read_length).
+SimulatedSample simulate_reads(const Reference& reference, const Donor& donor,
+                               const ReadSimSpec& spec);
+
+/// Convenience: builds reference + truth + donor + reads in one call.
+struct Workload {
+  Reference reference;
+  std::vector<VcfRecord> truth;
+  SimulatedSample sample;
+};
+Workload make_workload(std::int64_t genome_length, int contigs,
+                       const ReadSimSpec& spec,
+                       const VariantSpec& variants = {});
+
+}  // namespace gpf::simdata

@@ -1,0 +1,57 @@
+// Spawns germline variants (SNPs and short indels) on a reference and
+// materializes donor haplotypes.  The truth set doubles as the "known
+// sites" database (the paper's dbsnp_138 input to BQSR) and as ground
+// truth for caller accuracy tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/fasta.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf::simdata {
+
+struct VariantSpec {
+  /// Per-base probability of a SNP (human germline rate ~1e-3).
+  double snp_rate = 0.001;
+  /// Per-base probability of a short indel.
+  double indel_rate = 0.0001;
+  int max_indel_length = 8;
+  /// Fraction of variants that are heterozygous.
+  double het_fraction = 0.67;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a coordinate-sorted truth set over the reference.  N-gap
+/// positions are skipped.
+std::vector<VcfRecord> spawn_variants(const Reference& reference,
+                                      const VariantSpec& spec);
+
+/// A diploid donor genome: two haplotype sequences per contig with the
+/// truth variants applied (haplotype 0 carries het+hom variants,
+/// haplotype 1 only hom variants).
+class Donor {
+ public:
+  Donor(const Reference& reference, const std::vector<VcfRecord>& variants);
+
+  /// Haplotype sequence for contig `contig_id`, haplotype in {0, 1}.
+  const std::string& haplotype(std::int32_t contig_id, int hap) const;
+
+  /// Maps a donor-haplotype coordinate back to the reference coordinate
+  /// (for truth-aware read naming).  Approximate for positions inside
+  /// indels.
+  std::int64_t to_reference(std::int32_t contig_id, int hap,
+                            std::int64_t pos) const;
+
+  std::size_t contig_count() const { return haplotypes_[0].size(); }
+
+ private:
+  // haplotypes_[hap][contig] = sequence
+  std::vector<std::string> haplotypes_[2];
+  // Offset maps: sorted (donor_pos, cumulative_shift) checkpoints.
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> shifts_[2];
+};
+
+}  // namespace gpf::simdata

@@ -1,0 +1,435 @@
+// Tests for the alignment substrate: suffix array, FM-index,
+// Smith-Waterman, the BWA-MEM-like aligner and the SNAP-like hash aligner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "align/hash_aligner.hpp"
+#include "align/smith_waterman.hpp"
+#include "align/suffix_array.hpp"
+#include "common/rng.hpp"
+#include "simdata/read_sim.hpp"
+#include "simdata/reference_gen.hpp"
+
+namespace gpf::align {
+namespace {
+
+// --- suffix array ------------------------------------------------------------
+
+std::vector<std::uint32_t> naive_suffix_array(
+    const std::vector<std::uint8_t>& text) {
+  std::vector<std::uint32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::lexicographical_compare(text.begin() + a, text.end(),
+                                        text.begin() + b, text.end());
+  });
+  return sa;
+}
+
+TEST(SuffixArray, MatchesNaiveOnBanana) {
+  const std::string s = "banana";
+  std::vector<std::uint8_t> text(s.begin(), s.end());
+  text.push_back(0);
+  EXPECT_EQ(build_suffix_array(text), naive_suffix_array(text));
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomTexts) {
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.below(500);
+    std::vector<std::uint8_t> text(n);
+    // Small alphabet with repeated zeros — the hardest case for doubling
+    // implementations (multiple identical separators).
+    for (auto& c : text) c = static_cast<std::uint8_t>(rng.below(4));
+    ASSERT_EQ(build_suffix_array(text), naive_suffix_array(text))
+        << "trial " << trial;
+  }
+}
+
+TEST(SuffixArray, EmptyText) {
+  EXPECT_TRUE(build_suffix_array({}).empty());
+}
+
+TEST(SuffixArray, BwtFollowsDefinition) {
+  const std::string s = "mississippi";
+  std::vector<std::uint8_t> text(s.begin(), s.end());
+  text.push_back(0);
+  const auto sa = build_suffix_array(text);
+  const auto bwt = bwt_from_suffix_array(text, sa);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    const std::uint8_t expected =
+        sa[i] == 0 ? text.back() : text[sa[i] - 1];
+    EXPECT_EQ(bwt[i], expected);
+  }
+}
+
+// --- FM-index ------------------------------------------------------------------
+
+Reference small_reference() {
+  return simdata::generate_reference(
+      simdata::ReferenceSpec::genome(120'000, 3, 77));
+}
+
+TEST(FmIndex, FindsEverySampledSubstring) {
+  const Reference ref = small_reference();
+  const FmIndex index(ref);
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto cid = static_cast<std::int32_t>(rng.below(ref.contig_count()));
+    const auto& seq = ref.contig(cid).sequence;
+    const std::size_t len = 20 + rng.below(30);
+    if (seq.size() < len + 1) continue;
+    const std::size_t pos = rng.below(seq.size() - len);
+    const std::string pattern = seq.substr(pos, len);
+    if (pattern.find('N') != std::string::npos) continue;
+    const SaInterval iv = index.search(pattern);
+    ASSERT_FALSE(iv.empty()) << pattern;
+    // One of the hits must be the sampled position.
+    bool found = false;
+    for (std::uint32_t row = iv.lo; row < iv.hi; ++row) {
+      const RefPosition rp = index.locate(row);
+      if (rp.contig_id == cid &&
+          rp.offset == static_cast<std::int64_t>(pos)) {
+        found = true;
+      }
+      // Every hit must actually match the pattern.
+      if (rp.contig_id >= 0) {
+        EXPECT_EQ(ref.slice(rp.contig_id, rp.offset,
+                            static_cast<std::int64_t>(len)),
+                  pattern);
+      }
+    }
+    EXPECT_TRUE(found) << "hit list missed source position";
+  }
+}
+
+TEST(FmIndex, AbsentPatternReturnsEmpty) {
+  Reference ref(std::vector<FastaContig>{{"c", "ACACACACACACACACAC"}});
+  const FmIndex index(ref);
+  EXPECT_TRUE(index.search("GGGGG").empty());
+}
+
+TEST(FmIndex, PatternWithNNeverMatches) {
+  Reference ref(std::vector<FastaContig>{{"c", "ACGTACGTACGT"}});
+  const FmIndex index(ref);
+  EXPECT_TRUE(index.search("ACGN").empty());
+}
+
+TEST(FmIndex, CrossContigMatchesExcluded) {
+  // A pattern spanning the end of contig 1 and start of contig 2 must not
+  // match, thanks to the separator.
+  Reference ref(std::vector<FastaContig>{{"c1", "AAAACCCC"}, {"c2", "GGGGTTTT"}});
+  const FmIndex index(ref);
+  EXPECT_TRUE(index.search("CCCCGGGG").empty());
+  EXPECT_FALSE(index.search("CCCC").empty());
+  EXPECT_FALSE(index.search("GGGG").empty());
+}
+
+// --- Smith-Waterman ---------------------------------------------------------
+
+TEST(SmithWaterman, PerfectMatchGlobal) {
+  const auto r = banded_global("ACGTACGT", "ACGTACGT", {}, 8);
+  EXPECT_EQ(r.score, 8);
+  EXPECT_EQ(cigar_to_string(r.cigar), "8M");
+  EXPECT_EQ(r.mismatches, 0);
+}
+
+TEST(SmithWaterman, GlobalWithMismatch) {
+  const auto r = banded_global("ACGTACGT", "ACGAACGT", {}, 8);
+  EXPECT_EQ(cigar_to_string(r.cigar), "8M");
+  EXPECT_EQ(r.mismatches, 1);
+  EXPECT_EQ(r.score, 7 * 1 + 1 * -4);
+}
+
+TEST(SmithWaterman, GlobalWithDeletion) {
+  // Query lacks 2 bases present in ref.
+  const auto r = banded_global("AAAATTTT", "AAAACCTTTT", {}, 8);
+  EXPECT_EQ(cigar_to_string(r.cigar), "4M2D4M");
+}
+
+TEST(SmithWaterman, GlobalWithInsertion) {
+  const auto r = banded_global("AAAACCTTTT", "AAAATTTT", {}, 8);
+  EXPECT_EQ(cigar_to_string(r.cigar), "4M2I4M");
+}
+
+TEST(SmithWaterman, AffineGapPreferredOverScattered) {
+  // One 3-base gap should beat three scattered 1-base gaps under affine
+  // scoring: verify the CIGAR has a single indel run.
+  const auto r = banded_global("AAAAAAAATTTTTTTT", "AAAAAAAACCCTTTTTTTT", {},
+                               12);
+  int indel_runs = 0;
+  for (const auto& el : r.cigar) {
+    if (el.op == CigarOp::kDeletion || el.op == CigarOp::kInsertion) {
+      ++indel_runs;
+    }
+  }
+  EXPECT_EQ(indel_runs, 1);
+}
+
+TEST(SmithWaterman, GlocalFindsEmbeddedQuery) {
+  const std::string ref = "TTTTTTTTTTACGTACGTACGTTTTTTTTTT";
+  const auto r = glocal("ACGTACGTACGT", ref, {}, 8);
+  EXPECT_EQ(r.score, 12);
+  EXPECT_EQ(r.ref_start, 10);
+  EXPECT_EQ(r.query_start, 0);
+  EXPECT_EQ(cigar_to_string(r.cigar), "12M");
+}
+
+TEST(SmithWaterman, GlocalSoftClipsGarbageEnds) {
+  // Query has 4 junk bases at the front that should not align ("GA" and
+  // "GG" never occur in the ACGT-repeat reference, so no prefix base can
+  // profitably extend the local alignment).
+  const std::string ref = "ACGTACGTACGTACGTACGT";
+  const auto r = glocal("GGGGACGTACGTACGT", ref, {}, 8);
+  EXPECT_EQ(r.query_start, 4);
+  EXPECT_EQ(r.query_end, 16);
+}
+
+TEST(SmithWaterman, GlocalNoMatchReturnsEmpty) {
+  const auto r = glocal("AAAA", "TTTT", {}, 4);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+TEST(SmithWaterman, EmptyInputs) {
+  EXPECT_THROW(banded_global("", "ACGT", {}, 4), std::invalid_argument);
+  EXPECT_TRUE(glocal("", "ACGT", {}, 4).cigar.empty());
+}
+
+TEST(SmithWaterman, CigarConsistencyProperty) {
+  Rng rng(83);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string ref(100, 'A');
+    for (auto& c : ref) c = bases[rng.below(4)];
+    // Query = mutated slice of ref.
+    const std::size_t start = rng.below(40);
+    std::string query = ref.substr(start, 50);
+    for (int m = 0; m < 3; ++m) {
+      query[rng.below(query.size())] = bases[rng.below(4)];
+    }
+    const auto r = glocal(query, ref, {}, 10);
+    if (r.cigar.empty()) continue;
+    EXPECT_EQ(cigar_read_length(r.cigar),
+              static_cast<std::uint32_t>(r.query_end - r.query_start));
+    EXPECT_EQ(cigar_reference_length(r.cigar),
+              static_cast<std::uint32_t>(r.ref_end - r.ref_start));
+  }
+}
+
+// --- read aligner -------------------------------------------------------------
+
+struct AlignerFixture : public ::testing::Test {
+  void SetUp() override {
+    reference = simdata::generate_reference(
+        simdata::ReferenceSpec::genome(200'000, 2, 91));
+    index = std::make_unique<FmIndex>(reference);
+    aligner = std::make_unique<ReadAligner>(*index);
+  }
+
+  Reference reference;
+  std::unique_ptr<FmIndex> index;
+  std::unique_ptr<ReadAligner> aligner;
+};
+
+TEST_F(AlignerFixture, AlignsExactRead) {
+  const std::string seq(reference.slice(0, 5000, 100));
+  FastqRecord read{"r", seq, std::string(100, 'I')};
+  const SamRecord rec = aligner->align_single(read);
+  EXPECT_FALSE(rec.is_unmapped());
+  EXPECT_EQ(rec.contig_id, 0);
+  EXPECT_EQ(rec.pos, 5000);
+  EXPECT_FALSE(rec.is_reverse());
+  EXPECT_GT(rec.mapq, 0);
+}
+
+TEST_F(AlignerFixture, AlignsReverseComplementRead) {
+  const std::string fwd(reference.slice(1, 3000, 100));
+  FastqRecord read{"r", simdata::reverse_complement(fwd),
+                   std::string(100, 'I')};
+  const SamRecord rec = aligner->align_single(read);
+  EXPECT_FALSE(rec.is_unmapped());
+  EXPECT_EQ(rec.contig_id, 1);
+  EXPECT_EQ(rec.pos, 3000);
+  EXPECT_TRUE(rec.is_reverse());
+  // Sequence is stored reference-oriented.
+  EXPECT_EQ(rec.sequence, fwd);
+}
+
+TEST_F(AlignerFixture, ToleratesMismatches) {
+  std::string seq(reference.slice(0, 20000, 100));
+  seq[10] = seq[10] == 'A' ? 'C' : 'A';
+  seq[60] = seq[60] == 'G' ? 'T' : 'G';
+  const SamRecord rec =
+      aligner->align_single({"r", seq, std::string(100, 'I')});
+  EXPECT_FALSE(rec.is_unmapped());
+  EXPECT_EQ(rec.pos, 20000);
+}
+
+TEST_F(AlignerFixture, RandomReadUnmapped) {
+  Rng rng(97);
+  std::string junk(100, 'A');
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  for (auto& c : junk) c = bases[rng.below(4)];
+  // A uniformly random read is overwhelmingly unlikely to align with a
+  // decent score against a 200kb genome.
+  const SamRecord rec =
+      aligner->align_single({"r", junk, std::string(100, 'I')});
+  // Either unmapped, or mapped with low score evidence (soft clips).
+  if (!rec.is_unmapped()) {
+    std::uint32_t clipped = 0;
+    for (const auto& el : rec.cigar) {
+      if (el.op == CigarOp::kSoftClip) clipped += el.length;
+    }
+    EXPECT_GT(clipped, 30u);
+  }
+}
+
+TEST_F(AlignerFixture, PairedEndProperPairFlags) {
+  const std::string frag(reference.slice(0, 40000, 350));
+  FastqPair pair;
+  pair.first = {"p/1", frag.substr(0, 100), std::string(100, 'I')};
+  pair.second = {"p/2", simdata::reverse_complement(frag.substr(250, 100)),
+                 std::string(100, 'I')};
+  const auto [r1, r2] = aligner->align_pair(pair);
+  EXPECT_TRUE(r1.flag & SamFlags::kPaired);
+  EXPECT_TRUE(r1.flag & SamFlags::kProperPair);
+  EXPECT_TRUE(r1.flag & SamFlags::kFirstOfPair);
+  EXPECT_TRUE(r2.flag & SamFlags::kSecondOfPair);
+  EXPECT_EQ(r1.pos, 40000);
+  EXPECT_EQ(r2.pos, 40250);
+  EXPECT_FALSE(r1.is_reverse());
+  EXPECT_TRUE(r2.is_reverse());
+  EXPECT_EQ(r1.tlen, 350);
+  EXPECT_EQ(r2.tlen, -350);
+  EXPECT_EQ(r1.mate_pos, r2.pos);
+}
+
+TEST_F(AlignerFixture, SimulatedReadsAlignAccurately) {
+  const simdata::Donor donor(reference, {});
+  simdata::ReadSimSpec spec;
+  spec.coverage = 1.0;
+  spec.seed = 3;
+  const auto sample = simdata::simulate_reads(reference, donor, spec);
+  ASSERT_GT(sample.pairs.size(), 100u);
+
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(200, sample.pairs.size());
+       ++i) {
+    const auto& pair = sample.pairs[i];
+    const auto [r1, r2] = aligner->align_pair(pair);
+    // Truth from the read name: sim:<contig>:<pos>:<serial>.
+    const auto& name = pair.first.name;
+    const auto p1 = name.find(':');
+    const auto p2 = name.find(':', p1 + 1);
+    const auto p3 = name.find(':', p2 + 1);
+    const std::string contig = name.substr(p1 + 1, p2 - p1 - 1);
+    const std::int64_t pos = std::stoll(name.substr(p2 + 1, p3 - p2 - 1));
+    const auto cid = reference.find_contig(contig).value();
+    ++total;
+    if (!r1.is_unmapped() && r1.contig_id == cid &&
+        std::abs(r1.pos - pos) <= 12) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.93);
+}
+
+// --- hash aligner (SNAP-like) --------------------------------------------------
+
+TEST(HashAligner, AlignsExactReads) {
+  const Reference ref = simdata::generate_reference(
+      simdata::ReferenceSpec::genome(150'000, 2, 101));
+  const HashAligner aligner(ref);
+  Rng rng(103);
+  int correct = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    const auto cid = static_cast<std::int32_t>(rng.below(2));
+    const auto& seq = ref.contig(cid).sequence;
+    const std::size_t pos = rng.below(seq.size() - 120);
+    const std::string read = seq.substr(pos, 100);
+    if (read.find('N') != std::string::npos) {
+      ++correct;  // skip gap reads
+      continue;
+    }
+    const SamRecord rec =
+        aligner.align({"r", read, std::string(100, 'I')});
+    if (!rec.is_unmapped() && rec.contig_id == cid &&
+        std::abs(rec.pos - static_cast<std::int64_t>(pos)) <= 8) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 92);
+}
+
+TEST(HashAligner, ReverseStrand) {
+  const Reference ref = simdata::generate_reference(
+      simdata::ReferenceSpec::single(50'000, 107));
+  const HashAligner aligner(ref);
+  const std::string fwd(ref.slice(0, 1000, 100));
+  const SamRecord rec = aligner.align(
+      {"r", simdata::reverse_complement(fwd), std::string(100, 'I')});
+  EXPECT_FALSE(rec.is_unmapped());
+  EXPECT_TRUE(rec.is_reverse());
+  EXPECT_EQ(rec.pos, 1000);
+}
+
+TEST(HashAligner, ReportsIndexFootprint) {
+  const Reference ref = simdata::generate_reference(
+      simdata::ReferenceSpec::single(20'000, 109));
+  const HashAligner aligner(ref);
+  EXPECT_GT(aligner.index_bytes(), 20'000u);
+}
+
+
+TEST_F(AlignerFixture, MateRescueRecoversJunkMate) {
+  // First mate aligns cleanly; second mate is corrupted enough that
+  // seeding fails, but SW rescue in the insert window recovers it.
+  const std::string frag(reference.slice(0, 60'000, 350));
+  FastqPair pair;
+  pair.first = {"p/1", frag.substr(0, 100), std::string(100, 'I')};
+  std::string mate = simdata::reverse_complement(frag.substr(250, 100));
+  // Corrupt every 8th base: seeds of length 19 cannot survive, SW can.
+  Rng rng(601);
+  for (std::size_t i = 0; i < mate.size(); i += 8) {
+    mate[i] = mate[i] == 'A' ? 'C' : 'A';
+  }
+  pair.second = {"p/2", mate, std::string(100, 'I')};
+  const auto [r1, r2] = aligner->align_pair(pair);
+  EXPECT_FALSE(r1.is_unmapped());
+  EXPECT_FALSE(r2.is_unmapped()) << "mate rescue failed";
+  EXPECT_NEAR(static_cast<double>(r2.pos), 60'250.0, 16.0);
+  EXPECT_TRUE(r2.flag & SamFlags::kProperPair);
+}
+
+TEST_F(AlignerFixture, BothMatesJunkStayUnmapped) {
+  Rng rng(607);
+  auto junk = [&rng] {
+    std::string s(100, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+  };
+  FastqPair pair;
+  pair.first = {"j/1", junk(), std::string(100, 'I')};
+  pair.second = {"j/2", junk(), std::string(100, 'I')};
+  const auto [r1, r2] = aligner->align_pair(pair);
+  // Mate flags must be consistent even when unmapped.
+  if (r1.is_unmapped()) {
+    EXPECT_TRUE(r2.flag & SamFlags::kMateUnmapped);
+  }
+  EXPECT_TRUE(r1.flag & SamFlags::kPaired);
+  EXPECT_TRUE(r2.flag & SamFlags::kPaired);
+}
+
+TEST_F(AlignerFixture, ShortReadBelowSeedLengthUnmapped) {
+  const SamRecord rec = aligner->align_single(
+      {"tiny", "ACGTACGTAC", std::string(10, 'I')});
+  EXPECT_TRUE(rec.is_unmapped());
+}
+
+}  // namespace
+}  // namespace gpf::align

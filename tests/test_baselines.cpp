@@ -1,0 +1,189 @@
+// Tests for the comparator baselines: Churchill, ADAM/GATK4-like, Persona.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/bwamem.hpp"
+#include "align/fm_index.hpp"
+#include "baselines/adamlike.hpp"
+#include "baselines/churchill.hpp"
+#include "baselines/personalike.hpp"
+#include "simdata/read_sim.hpp"
+#include "simdata/reference_gen.hpp"
+
+namespace gpf::baselines {
+namespace {
+
+struct BaselineFixture : public ::testing::Test {
+  static simdata::Workload& workload() {
+    static simdata::Workload w = [] {
+      simdata::ReadSimSpec spec;
+      spec.coverage = 12.0;
+      spec.duplicate_fraction = 0.06;
+      spec.seed = 239;
+      simdata::VariantSpec vspec;
+      vspec.snp_rate = 0.0008;
+      vspec.seed = 241;
+      return simdata::make_workload(120'000, 2, spec, vspec);
+    }();
+    return w;
+  }
+
+  /// Aligned records shared by the cleaner-stage baselines.
+  static engine::Dataset<SamRecord> aligned(engine::Engine& engine) {
+    auto& w = workload();
+    static std::vector<SamRecord> records = [&w] {
+      const align::FmIndex index(w.reference);
+      const align::ReadAligner aligner(index);
+      std::vector<SamRecord> out;
+      for (const auto& pair : w.sample.pairs) {
+        auto [r1, r2] = aligner.align_pair(pair);
+        out.push_back(std::move(r1));
+        out.push_back(std::move(r2));
+      }
+      return out;
+    }();
+    return engine.parallelize(records, 8);
+  }
+};
+
+TEST_F(BaselineFixture, ChurchillProducesVariantsAndFileTraffic) {
+  auto& w = workload();
+  engine::Engine engine({.worker_threads = 4});
+  ChurchillConfig config;
+  config.subregions = 16;
+  const ChurchillResult result = run_churchill_pipeline(
+      engine, w.reference, w.sample.pairs, w.truth, config);
+  EXPECT_FALSE(result.variants.empty());
+  EXPECT_GT(result.file_bytes, 1'000'000u);
+  EXPECT_GT(result.duplicates_marked, 0u);
+
+  // Recall sanity: Churchill runs the same algorithms, so it should find
+  // a solid share of the planted SNPs.
+  std::size_t snp_truth = 0, hit = 0;
+  for (const auto& t : w.truth) {
+    if (!t.is_snp()) continue;
+    ++snp_truth;
+    for (const auto& c : result.variants) {
+      if (c.contig_id == t.contig_id && c.pos == t.pos && c.alt == t.alt) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hit) / static_cast<double>(snp_truth), 0.7);
+
+  // Stage metrics include the file boundaries for the simulator.
+  bool saw_file_stage = false;
+  for (const auto& s : engine.metrics().stages()) {
+    if (s.name.find("file_write") != std::string::npos &&
+        s.output_bytes > 0) {
+      saw_file_stage = true;
+    }
+  }
+  EXPECT_TRUE(saw_file_stage);
+}
+
+TEST_F(BaselineFixture, ChurchillFileStepsScale) {
+  engine::Engine engine({.worker_threads = 4});
+  auto& w = workload();
+  run_churchill_pipeline(engine, w.reference, w.sample.pairs, w.truth,
+                         {.subregions = 8});
+  const auto steps1 = churchill_file_steps(engine.metrics(), 1.0);
+  const auto steps2 = churchill_file_steps(engine.metrics(), 10.0);
+  ASSERT_EQ(steps1.size(), steps2.size());
+  double bytes1 = 0, bytes2 = 0;
+  for (std::size_t i = 0; i < steps1.size(); ++i) {
+    bytes1 += static_cast<double>(steps1[i].read_bytes +
+                                  steps1[i].write_bytes);
+    bytes2 += static_cast<double>(steps2[i].read_bytes +
+                                  steps2[i].write_bytes);
+  }
+  EXPECT_NEAR(bytes2 / bytes1, 10.0, 0.1);
+}
+
+TEST_F(BaselineFixture, AdamLikeMatchesResultsButCostsMore) {
+  engine::Engine engine({.worker_threads = 4});
+  auto input = aligned(engine);
+
+  // Duplicate flags must agree with a direct run: the baseline changes
+  // the execution pattern, not the algorithm.
+  engine::Engine raw_engine({.worker_threads = 4});
+  auto raw = baseline_mark_duplicates(raw_engine, aligned(raw_engine),
+                                      FrameworkProfile::none());
+  auto adam = baseline_mark_duplicates(engine, input,
+                                       FrameworkProfile::adam());
+  auto count_dups = [](const engine::Dataset<SamRecord>& ds) {
+    std::size_t n = 0;
+    for (const auto& rec : ds.collect()) {
+      if (rec.is_duplicate()) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_dups(raw), count_dups(adam));
+  EXPECT_GT(count_dups(adam), 0u);
+
+  // ADAM pays conversion stages the raw profile does not.
+  std::size_t adam_converts = 0;
+  for (const auto& s : engine.metrics().stages()) {
+    if (s.name.find("convert") != std::string::npos) ++adam_converts;
+  }
+  EXPECT_EQ(adam_converts, 2u);
+  EXPECT_GT(engine.metrics().total_compute_seconds(),
+            raw_engine.metrics().total_compute_seconds());
+}
+
+TEST_F(BaselineFixture, AdamBqsrAndRealignRun) {
+  auto& w = workload();
+  engine::Engine engine({.worker_threads = 4});
+  auto input = aligned(engine);
+  auto recal = baseline_bqsr(engine, input, w.reference, w.truth,
+                             FrameworkProfile::adam());
+  EXPECT_EQ(recal.count(), input.count());
+  auto realigned = baseline_indel_realign(engine, input, w.reference,
+                                          w.truth,
+                                          FrameworkProfile::gatk4());
+  EXPECT_EQ(realigned.count(), input.count());
+}
+
+TEST_F(BaselineFixture, PersonaAlignsAndModelsConversion) {
+  auto& w = workload();
+  engine::Engine engine({.worker_threads = 4});
+  const PersonaAlignResult result =
+      persona_align(engine, w.reference, w.sample.pairs);
+  EXPECT_EQ(result.records.size(), w.sample.pairs.size() * 2);
+  EXPECT_GT(result.bases, 0u);
+  EXPECT_GT(result.align_core_seconds, 0.0);
+  EXPECT_GT(result.conversion_seconds, 0.0);
+
+  // Most reads align.
+  std::size_t mapped = 0;
+  for (const auto& rec : result.records) {
+    if (!rec.is_unmapped()) ++mapped;
+  }
+  EXPECT_GT(static_cast<double>(mapped) /
+                static_cast<double>(result.records.size()),
+            0.9);
+
+  // Conversion dominates once the paper's AGD rates are applied: the
+  // effective throughput including conversion is far below the raw one.
+  const double raw_tp = result.throughput_gbases_per_s(
+      result.align_core_seconds / 4.0);
+  const double eff_tp = result.throughput_gbases_per_s(
+      result.align_core_seconds / 4.0 + result.conversion_seconds);
+  EXPECT_LT(eff_tp, raw_tp);
+}
+
+TEST_F(BaselineFixture, PersonaMarkDupFindsDuplicates) {
+  engine::Engine engine({.worker_threads = 4});
+  auto input = aligned(engine);
+  auto marked = persona_mark_duplicates(engine, input);
+  std::size_t dups = 0;
+  for (const auto& rec : marked.collect()) {
+    if (rec.is_duplicate()) ++dups;
+  }
+  EXPECT_GT(dups, 0u);
+}
+
+}  // namespace
+}  // namespace gpf::baselines

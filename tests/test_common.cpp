@@ -1,0 +1,232 @@
+// Unit tests for src/common: thread pool, RNG, byte serialization,
+// histogram, formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    futs.push_back(pool.submit([&sum] { sum++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 256);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasUnitVarianceRoughly) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1LL << 40);
+  w.f32(1.5f);
+  w.f64(-2.25);
+  ByteReader r(std::span(w.bytes().data(), w.bytes().size()));
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1LL << 40);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintRoundTripProperty) {
+  Rng rng(17);
+  ByteWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    // Mix small and large magnitudes.
+    const int bits = static_cast<int>(rng.below(64));
+    const std::uint64_t v = rng.next() >> bits;
+    values.push_back(v);
+    w.uvarint(v);
+  }
+  ByteReader r(std::span(w.bytes().data(), w.bytes().size()));
+  for (const auto v : values) EXPECT_EQ(r.uvarint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, SignedVarintRoundTrip) {
+  ByteWriter w;
+  const std::int64_t cases[] = {0, -1, 1, 63, -64, 1000000, -1000000,
+                                INT64_MAX, INT64_MIN + 1};
+  for (const auto v : cases) w.svarint(v);
+  ByteReader r(std::span(w.bytes().data(), w.bytes().size()));
+  for (const auto v : cases) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(Bytes, SmallVarintsAreOneByte) {
+  ByteWriter w;
+  w.uvarint(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+  ByteReader r(std::span(w.bytes().data(), w.bytes().size()));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u64(1);
+  ByteReader r(std::span(w.bytes().data(), 3));
+  EXPECT_THROW(r.u64(), std::out_of_range);
+}
+
+TEST(Histogram, BasicCountsAndFractions) {
+  Histogram h;
+  h.add(5, 3);
+  h.add(7);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(5), 3u);
+  EXPECT_DOUBLE_EQ(h.fraction(5), 0.75);
+  EXPECT_EQ(h.min_key(), 5);
+  EXPECT_EQ(h.max_key(), 7);
+}
+
+TEST(Histogram, MeanAndPercentile) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_EQ(h.percentile(0.5), 50);
+  EXPECT_EQ(h.percentile(1.0), 100);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(2), 1u);
+}
+
+TEST(Histogram, EmptyThrowsOnStats) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.min_key(), std::logic_error);
+  EXPECT_THROW(h.percentile(0.5), std::logic_error);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Format, Durations) {
+  EXPECT_EQ(format_duration(0.5), "500ms");
+  EXPECT_EQ(format_duration(12.0), "12.00s");
+  EXPECT_EQ(format_duration(24 * 60.0), "24m00.0s");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(500), "500B");
+  EXPECT_EQ(format_bytes(20'000'000'000ULL), "20.0GB");
+}
+
+}  // namespace
+}  // namespace gpf

@@ -1,0 +1,378 @@
+// Unit and property tests for src/compress: bit I/O, Huffman, the 2-bit
+// sequence codec, the delta/Huffman quality codec, and the three record
+// serializers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "compress/bitio.hpp"
+#include "compress/huffman.hpp"
+#include "compress/qual_codec.hpp"
+#include "compress/record_codec.hpp"
+#include "compress/seq_codec.hpp"
+
+namespace gpf {
+namespace {
+
+// --- bit I/O -------------------------------------------------------------
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool bits[] = {true, false, true, true, false, false, true, false,
+                       true, true};
+  for (const bool b : bits) w.bit(b);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  for (const bool b : bits) EXPECT_EQ(r.bit(), b);
+}
+
+TEST(BitIo, MultiBitValues) {
+  BitWriter w;
+  w.bits(0b101101, 6);
+  w.bits(0xffff, 16);
+  w.bits(0, 3);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  EXPECT_EQ(r.bits(6), 0b101101u);
+  EXPECT_EQ(r.bits(16), 0xffffu);
+  EXPECT_EQ(r.bits(3), 0u);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.bit(true);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  r.bits(8);  // padded byte is readable
+  EXPECT_THROW(r.bit(), std::out_of_range);
+}
+
+// --- Huffman -------------------------------------------------------------
+
+TEST(Huffman, RoundTripSkewedAlphabet) {
+  std::vector<std::uint64_t> freq(8, 0);
+  freq[0] = 1000;
+  freq[1] = 200;
+  freq[2] = 50;
+  freq[3] = 1;
+  const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+  BitWriter w;
+  const std::vector<std::uint32_t> message = {0, 0, 1, 2, 3, 0, 1, 0};
+  for (const auto s : message) coder.encode(s, w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  for (const auto s : message) EXPECT_EQ(coder.decode(r), s);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freq = {1000, 10, 10, 10};
+  const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+  EXPECT_LT(coder.code_lengths()[0], coder.code_lengths()[3]);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freq = {0, 5, 0};
+  const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+  BitWriter w;
+  coder.encode(1, w);
+  coder.encode(1, w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  EXPECT_EQ(coder.decode(r), 1u);
+  EXPECT_EQ(coder.decode(r), 1u);
+}
+
+TEST(Huffman, AllZeroFrequenciesThrows) {
+  std::vector<std::uint64_t> freq(4, 0);
+  EXPECT_THROW(HuffmanCoder::from_frequencies(freq), std::invalid_argument);
+}
+
+TEST(Huffman, SerializedTableReproducesCodes) {
+  Rng rng(31);
+  std::vector<std::uint64_t> freq(257);
+  for (auto& f : freq) f = 1 + rng.below(10000);
+  const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+  const HuffmanCoder copy = HuffmanCoder::from_code_lengths(
+      coder.code_lengths());
+  BitWriter w;
+  for (std::uint32_t s = 0; s < 257; ++s) coder.encode(s, w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  for (std::uint32_t s = 0; s < 257; ++s) EXPECT_EQ(copy.decode(r), s);
+}
+
+TEST(Huffman, RandomRoundTripProperty) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freq(64);
+    for (auto& f : freq) f = rng.below(100);  // some zeros
+    freq[rng.below(64)] = 1 + rng.below(1000);  // at least one non-zero
+    const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+    std::vector<std::uint32_t> message;
+    for (std::uint32_t s = 0; s < 64; ++s) {
+      if (coder.code_lengths()[s] > 0) {
+        message.push_back(s);
+        message.push_back(s);
+      }
+    }
+    BitWriter w;
+    for (const auto s : message) coder.encode(s, w);
+    const auto bytes = w.finish();
+    BitReader r(std::span(bytes.data(), bytes.size()));
+    for (const auto s : message) ASSERT_EQ(coder.decode(r), s);
+  }
+}
+
+// --- sequence codec --------------------------------------------------------
+
+TEST(SeqCodec, PlainRoundTrip) {
+  std::string qual = "IIIIIIIII";
+  const auto compressed = compress_sequence("GGTTACCTA", qual);
+  EXPECT_EQ(compressed.length, 9u);
+  EXPECT_EQ(compressed.packed.size(), 3u);  // ceil(9/4)
+  std::string qual2 = qual;
+  EXPECT_EQ(decompress_sequence(compressed, qual2), "GGTTACCTA");
+  EXPECT_EQ(qual2, "IIIIIIIII");
+}
+
+TEST(SeqCodec, PaperExampleWithN) {
+  // Paper Fig 4: GGTTNCCTA / CCCB#FFFF -> N escaped to A with sentinel
+  // quality; decompression restores N and '#'.
+  std::string qual = "CCCB#FFFF";
+  const auto compressed = compress_sequence("GGTTNCCTA", qual);
+  EXPECT_EQ(qual[4], kEscapeQuality);  // sentinel written in place
+  std::string seq = decompress_sequence(compressed, qual);
+  EXPECT_EQ(seq, "GGTTNCCTA");
+  EXPECT_EQ(qual, "CCCB#FFFF");
+}
+
+TEST(SeqCodec, CompressionIsFourToOne) {
+  std::string qual(1000, 'F');
+  const auto compressed = compress_sequence(std::string(1000, 'C'), qual);
+  // ~4x: 1000 bases -> 250 bytes (paper: "improves storage by
+  // approximately four times").
+  EXPECT_EQ(compressed.packed.size(), 250u);
+}
+
+TEST(SeqCodec, LengthMismatchThrows) {
+  std::string qual = "II";
+  EXPECT_THROW(compress_sequence("ACGT", qual), std::invalid_argument);
+}
+
+TEST(SeqCodec, RandomRoundTripProperty) {
+  Rng rng(41);
+  const char bases[] = {'A', 'C', 'G', 'T', 'N'};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 1 + rng.below(300);
+    std::string seq(len, 'A'), qual(len, 'A');
+    for (std::size_t i = 0; i < len; ++i) {
+      seq[i] = bases[rng.below(5)];
+      qual[i] = static_cast<char>(35 + rng.below(40));
+    }
+    std::string work_qual = qual;
+    const auto compressed = compress_sequence(seq, work_qual);
+    const std::string out = decompress_sequence(compressed, work_qual);
+    ASSERT_EQ(out, seq);
+    // Non-N positions keep their original quality.
+    for (std::size_t i = 0; i < len; ++i) {
+      if (seq[i] != 'N') {
+        ASSERT_EQ(work_qual[i], qual[i]);
+      }
+    }
+  }
+}
+
+// --- quality codec -----------------------------------------------------------
+
+TEST(QualCodec, RoundTrip) {
+  const std::vector<std::string> quals = {"CCCBFFFF", "IIIIHHGG", "AB"};
+  const QualityCodec codec = QualityCodec::train(quals);
+  BitWriter w;
+  for (const auto& q : quals) codec.encode(q, w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  for (const auto& q : quals) EXPECT_EQ(codec.decode(r), q);
+}
+
+TEST(QualCodec, EmptyStringRoundTrip) {
+  const std::vector<std::string> quals = {"ABC"};
+  const QualityCodec codec = QualityCodec::train(quals);
+  BitWriter w;
+  codec.encode("", w);
+  codec.encode("ABC", w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  EXPECT_EQ(codec.decode(r), "");
+  EXPECT_EQ(codec.decode(r), "ABC");
+}
+
+TEST(QualCodec, TableSerializationRoundTrip) {
+  const std::vector<std::string> quals = {"FFFFFFGGFF", "EEEEFFFFGG"};
+  const QualityCodec codec = QualityCodec::train(quals);
+  const auto table = codec.serialize_table();
+  EXPECT_EQ(table.size(), kQualityAlphabet);
+  const QualityCodec copy = QualityCodec::from_table(table);
+  BitWriter w;
+  copy.encode(quals[0], w);
+  const auto bytes = w.finish();
+  BitReader r(std::span(bytes.data(), bytes.size()));
+  EXPECT_EQ(codec.decode(r), quals[0]);
+}
+
+TEST(QualCodec, ConcentratedDeltasCompressWell) {
+  // Realistic quality strings (small adjacent deltas) should compress to
+  // well under 8 bits per character.
+  Rng rng(43);
+  std::vector<std::string> quals;
+  for (int i = 0; i < 200; ++i) {
+    std::string q(100, 'F');
+    char level = 'F';
+    for (auto& c : q) {
+      level = static_cast<char>(level + static_cast<int>(rng.below(3)) - 1);
+      c = level;
+    }
+    quals.push_back(std::move(q));
+  }
+  const QualityCodec codec = QualityCodec::train(quals);
+  BitWriter w;
+  for (const auto& q : quals) codec.encode(q, w);
+  const auto bytes = w.finish();
+  const double bits_per_char =
+      8.0 * static_cast<double>(bytes.size()) / (200.0 * 100.0);
+  EXPECT_LT(bits_per_char, 4.0);
+}
+
+// --- record codecs (parameterized over all three serializers) -----------------
+
+class RecordCodecTest : public ::testing::TestWithParam<Codec> {};
+
+std::vector<FastqRecord> sample_fastq(int n) {
+  Rng rng(47);
+  std::vector<FastqRecord> out;
+  const char bases[] = {'A', 'C', 'G', 'T', 'N'};
+  for (int i = 0; i < n; ++i) {
+    const std::size_t len = 50 + rng.below(60);
+    FastqRecord r;
+    r.name = "read" + std::to_string(i) + "/1";
+    r.sequence.resize(len);
+    r.quality.resize(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      r.sequence[j] = bases[rng.below(20) == 0 ? 4 : rng.below(4)];
+      r.quality[j] = static_cast<char>(35 + rng.below(40));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<SamRecord> sample_sam(int n) {
+  Rng rng(53);
+  auto fastq = sample_fastq(n);
+  std::vector<SamRecord> out;
+  for (int i = 0; i < n; ++i) {
+    SamRecord r;
+    r.qname = fastq[i].name;
+    r.flag = static_cast<std::uint16_t>(rng.below(0x800));
+    r.contig_id = static_cast<std::int32_t>(rng.below(3));
+    r.pos = static_cast<std::int64_t>(rng.below(1000000));
+    r.mapq = static_cast<std::uint8_t>(rng.below(61));
+    r.cigar = {{CigarOp::kMatch,
+                static_cast<std::uint32_t>(fastq[i].sequence.size())}};
+    r.mate_contig_id = r.contig_id;
+    r.mate_pos = r.pos + 300;
+    r.tlen = 400;
+    r.sequence = fastq[i].sequence;
+    r.quality = fastq[i].quality;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST_P(RecordCodecTest, FastqRoundTrip) {
+  const auto records = sample_fastq(40);
+  const auto bytes = encode_fastq_batch(records, GetParam());
+  const auto decoded = decode_fastq_batch(bytes, GetParam());
+  EXPECT_EQ(decoded, records);
+}
+
+TEST_P(RecordCodecTest, FastqPairRoundTrip) {
+  auto flat = sample_fastq(20);
+  std::vector<FastqPair> pairs;
+  for (std::size_t i = 0; i + 1 < flat.size(); i += 2) {
+    pairs.push_back({flat[i], flat[i + 1]});
+  }
+  const auto bytes = encode_fastq_pair_batch(pairs, GetParam());
+  EXPECT_EQ(decode_fastq_pair_batch(bytes, GetParam()), pairs);
+}
+
+TEST_P(RecordCodecTest, SamRoundTrip) {
+  const auto records = sample_sam(40);
+  const auto bytes = encode_sam_batch(records, GetParam());
+  EXPECT_EQ(decode_sam_batch(bytes, GetParam()), records);
+}
+
+TEST_P(RecordCodecTest, VcfRoundTrip) {
+  std::vector<VcfRecord> records = {
+      {0, 100, "rs1", "A", "C", 50.0, Genotype::kHet},
+      {1, 5000, ".", "AT", "A", 99.5, Genotype::kHomAlt},
+      {2, 1, ".", "G", "GTTT", 10.0, Genotype::kHomRef},
+  };
+  const auto bytes = encode_vcf_batch(records, GetParam());
+  EXPECT_EQ(decode_vcf_batch(bytes, GetParam()), records);
+}
+
+TEST_P(RecordCodecTest, EmptyBatchRoundTrip) {
+  const auto bytes = encode_fastq_batch({}, GetParam());
+  EXPECT_TRUE(decode_fastq_batch(bytes, GetParam()).empty());
+}
+
+TEST_P(RecordCodecTest, CodecMismatchThrows) {
+  const auto bytes = encode_fastq_batch(sample_fastq(2), GetParam());
+  const Codec other =
+      GetParam() == Codec::kGpf ? Codec::kKryoLike : Codec::kGpf;
+  EXPECT_THROW(decode_fastq_batch(bytes, other), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, RecordCodecTest,
+                         ::testing::Values(Codec::kJavaLike, Codec::kKryoLike,
+                                           Codec::kGpf),
+                         [](const auto& info) {
+                           return codec_name(info.param);
+                         });
+
+TEST(RecordCodecSizes, GpfSmallerThanKryoSmallerThanJava) {
+  // The paper's serialization hierarchy: GPF < Kryo << Java.
+  const auto records = sample_fastq(200);
+  const auto gpf = encode_fastq_batch(records, Codec::kGpf).size();
+  const auto kryo = encode_fastq_batch(records, Codec::kKryoLike).size();
+  const auto java = encode_fastq_batch(records, Codec::kJavaLike).size();
+  EXPECT_LT(gpf, kryo);
+  EXPECT_LT(kryo, java);
+  // Java's UTF-16 payload alone is ~2x Kryo.
+  EXPECT_GT(static_cast<double>(java) / static_cast<double>(kryo), 1.8);
+}
+
+TEST(RecordCodecSizes, SamCompressionRateLowerThanFastq) {
+  // Paper Table 3: SAM stages compress slightly worse than FASTQ because
+  // the extra fields stay uncompressed.
+  const auto fastq = sample_fastq(200);
+  const auto sam = sample_sam(200);
+  const double fastq_ratio =
+      static_cast<double>(encode_fastq_batch(fastq, Codec::kKryoLike).size()) /
+      static_cast<double>(encode_fastq_batch(fastq, Codec::kGpf).size());
+  const double sam_ratio =
+      static_cast<double>(encode_sam_batch(sam, Codec::kKryoLike).size()) /
+      static_cast<double>(encode_sam_batch(sam, Codec::kGpf).size());
+  EXPECT_GT(fastq_ratio, sam_ratio);
+  EXPECT_GT(sam_ratio, 1.0);
+}
+
+TEST(LiveSize, AccountsForHeapStrings) {
+  FastqRecord small{"n", "AC", "II"};
+  FastqRecord big{"n", std::string(1000, 'A'), std::string(1000, 'I')};
+  EXPECT_GT(live_size(big), live_size(small) + 1500);
+}
+
+}  // namespace
+}  // namespace gpf

@@ -1,0 +1,358 @@
+// Tests for the dataflow engine: transformations, shuffles, codecs and
+// metric recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "compress/record_codec.hpp"
+#include "core/processes.hpp"
+#include "engine/dataset.hpp"
+#include "engine/serialized.hpp"
+
+namespace gpf::engine {
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Engine, ParallelizeSplitsEvenly) {
+  Engine engine({.worker_threads = 4});
+  auto ds = engine.parallelize(iota_vec(100), 8);
+  EXPECT_EQ(ds.partition_count(), 8u);
+  EXPECT_EQ(ds.count(), 100u);
+  const auto collected = ds.collect();
+  EXPECT_EQ(collected.size(), 100u);
+  EXPECT_EQ(collected[0], 0);
+  EXPECT_EQ(collected[99], 99);
+}
+
+TEST(Engine, ParallelizeZeroPartitionsThrows) {
+  Engine engine({.worker_threads = 2});
+  EXPECT_THROW(engine.parallelize(iota_vec(4), 0), std::invalid_argument);
+}
+
+TEST(Engine, MapTransformsEveryElement) {
+  Engine engine({.worker_threads = 4});
+  auto ds = engine.parallelize(iota_vec(50), 4);
+  auto doubled = ds.map("double", [](const int& x) { return x * 2; });
+  const auto out = doubled.collect();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(Engine, FlatMapExpands) {
+  Engine engine({.worker_threads = 2});
+  auto ds = engine.parallelize(iota_vec(10), 2);
+  auto expanded = ds.flat_map("expand", [](const int& x) {
+    return std::vector<int>{x, x};
+  });
+  EXPECT_EQ(expanded.count(), 20u);
+}
+
+TEST(Engine, FilterKeepsMatching) {
+  Engine engine({.worker_threads = 2});
+  auto ds = engine.parallelize(iota_vec(100), 4);
+  auto evens = ds.filter("evens", [](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.count(), 50u);
+}
+
+TEST(Engine, ShuffleRedistributesByKey) {
+  Engine engine({.worker_threads = 4});
+  auto ds = engine.parallelize(iota_vec(1000), 7);
+  auto shuffled = ds.shuffle("bykey", 10, [](const int& x) {
+    return static_cast<std::uint64_t>(x % 10);
+  });
+  EXPECT_EQ(shuffled.partition_count(), 10u);
+  EXPECT_EQ(shuffled.count(), 1000u);
+  // Every partition holds exactly the values with its residue.
+  for (std::size_t p = 0; p < 10; ++p) {
+    for (const int x : shuffled.partitions()[p]) {
+      EXPECT_EQ(static_cast<std::size_t>(x % 10), p);
+    }
+    EXPECT_EQ(shuffled.partitions()[p].size(), 100u);
+  }
+}
+
+TEST(Engine, GroupByProducesCompleteGroups) {
+  Engine engine({.worker_threads = 4});
+  auto ds = engine.parallelize(iota_vec(100), 5);
+  auto grouped = ds.group_by("group", 4, [](const int& x) { return x % 7; });
+  std::size_t total = 0;
+  std::size_t groups = 0;
+  for (const auto& part : grouped.partitions()) {
+    for (const auto& [key, members] : part) {
+      ++groups;
+      total += members.size();
+      for (const int m : members) EXPECT_EQ(m % 7, key);
+    }
+  }
+  EXPECT_EQ(groups, 7u);
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Engine, AggregateSums) {
+  Engine engine({.worker_threads = 4});
+  auto ds = engine.parallelize(iota_vec(101), 8);
+  const int total = ds.aggregate<int>(
+      "sum", 0, [](int acc, const int& x) { return acc + x; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 5050);
+}
+
+TEST(Engine, MetricsRecordStages) {
+  Engine engine({.worker_threads = 2});
+  auto ds = engine.parallelize(iota_vec(10), 2);
+  ds.map("stage_a", [](const int& x) { return x; });
+  ds.shuffle("stage_b", 2, [](const int& x) {
+    return static_cast<std::uint64_t>(x);
+  });
+  const auto& stages = engine.metrics().stages();
+  ASSERT_EQ(stages.size(), 2u);  // parallelize records nothing
+  EXPECT_EQ(stages[0].name, "stage_a");
+  EXPECT_EQ(stages[1].name, "stage_b");
+  EXPECT_TRUE(stages[1].wide);
+  EXPECT_EQ(stages[1].map_task_count, 2u);
+}
+
+TEST(Engine, ShuffleWithCodecMeasuresBytesAndRoundTrips) {
+  Engine engine({.worker_threads = 2, .serialize_shuffle = true});
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    SamRecord r;
+    r.qname = "r" + std::to_string(i);
+    r.contig_id = 0;
+    r.pos = i;
+    r.sequence = "ACGTACGT";
+    r.quality = "IIIIIIII";
+    records.push_back(std::move(r));
+  }
+  auto ds = engine.parallelize(std::move(records), 4)
+                .with_codec(core::make_sam_codec(Codec::kGpf));
+  auto shuffled = ds.shuffle("sam", 3, [](const SamRecord& r) {
+    return static_cast<std::uint64_t>(r.pos % 3);
+  });
+  EXPECT_EQ(shuffled.count(), 100u);
+  const auto& stage = engine.metrics().stages().back();
+  EXPECT_GT(stage.shuffle_write_bytes, 0u);
+  EXPECT_EQ(stage.shuffle_write_bytes, stage.shuffle_read_bytes);
+  EXPECT_GT(stage.serialization_seconds, 0.0);
+  // Records survive the byte round trip.
+  auto all = shuffled.collect();
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Engine, SerializeShuffleOffStillEstimatesBytes) {
+  Engine engine({.worker_threads = 2, .serialize_shuffle = false});
+  auto ds = engine.parallelize(iota_vec(100), 4);
+  ds.shuffle("ints", 2,
+             [](const int& x) { return static_cast<std::uint64_t>(x); });
+  const auto& stage = engine.metrics().stages().back();
+  EXPECT_EQ(stage.shuffle_write_bytes, 100 * sizeof(int));
+}
+
+TEST(Engine, MapPartitionsIndexedSeesIndices) {
+  Engine engine({.worker_threads = 2});
+  auto ds = engine.parallelize(iota_vec(12), 3);
+  auto tagged = ds.map_partitions_indexed<std::size_t>(
+      "tag", [](std::size_t idx, const std::vector<int>& part) {
+        return std::vector<std::size_t>(part.size(), idx);
+      });
+  const auto& parts = tagged.partitions();
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (const auto v : parts[p]) EXPECT_EQ(v, p);
+  }
+}
+
+TEST(Engine, StageMetricsComputeHelpers) {
+  StageMetrics s;
+  s.task_seconds = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(s.total_compute_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(s.max_task_seconds(), 3.0);
+}
+
+TEST(Engine, MetricsReset) {
+  Engine engine({.worker_threads = 1});
+  auto ds = engine.parallelize(iota_vec(4), 2);
+  ds.map("x", [](const int& v) { return v; });
+  EXPECT_GT(engine.metrics().stage_count(), 0u);
+  engine.metrics().reset();
+  EXPECT_EQ(engine.metrics().stage_count(), 0u);
+}
+
+
+TEST(Engine, FlakyTaskSucceedsViaRetry) {
+  Engine engine({.worker_threads = 2, .max_task_retries = 3});
+  auto ds = engine.parallelize(iota_vec(8), 4);
+  std::atomic<int> failures{2};  // first two attempts anywhere fail
+  auto out = ds.map_partitions<int>(
+      "flaky", [&failures](const std::vector<int>& part) {
+        if (failures.fetch_sub(1) > 0) {
+          throw std::runtime_error("transient executor loss");
+        }
+        return part;
+      });
+  EXPECT_EQ(out.count(), 8u);
+  EXPECT_EQ(engine.metrics().stages().back().task_retries, 2u);
+}
+
+TEST(Engine, RetriesExhaustedPropagatesError) {
+  Engine engine({.worker_threads = 2, .max_task_retries = 1});
+  auto ds = engine.parallelize(iota_vec(4), 2);
+  EXPECT_THROW(ds.map_partitions<int>(
+                   "doomed", [](const std::vector<int>&) -> std::vector<int> {
+                     throw std::runtime_error("permanent failure");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Engine, ZeroRetriesFailsImmediately) {
+  Engine engine({.worker_threads = 1, .max_task_retries = 0});
+  auto ds = engine.parallelize(iota_vec(2), 1);
+  int attempts = 0;
+  EXPECT_THROW(ds.map_partitions<int>(
+                   "once", [&attempts](const std::vector<int>&)
+                               -> std::vector<int> {
+                     ++attempts;
+                     throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(Engine, RetryRecomputesFromImmutableInput) {
+  // The retried attempt sees the same input partition (lineage
+  // recompute), so the result is identical to a clean run.
+  Engine engine({.worker_threads = 1, .max_task_retries = 2});
+  auto ds = engine.parallelize(iota_vec(10), 2);
+  std::atomic<bool> failed_once{false};
+  auto out = ds.map_partitions<int>(
+      "recompute", [&failed_once](const std::vector<int>& part) {
+        if (!failed_once.exchange(true)) {
+          throw std::runtime_error("lost task");
+        }
+        std::vector<int> doubled;
+        for (const int x : part) doubled.push_back(2 * x);
+        return doubled;
+      });
+  const auto collected = out.collect();
+  ASSERT_EQ(collected.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(collected[i], 2 * i);
+}
+
+
+TEST(SerializedDataset, PersistAndMaterializeRoundTrip) {
+  Engine engine({.worker_threads = 2});
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    SamRecord r;
+    r.qname = "r" + std::to_string(i);
+    r.contig_id = 0;
+    r.pos = i * 10;
+    r.sequence = "ACGTACGTACGTACGT";
+    r.quality = "IIIIIIIIIIIIIIII";
+    r.cigar = {{CigarOp::kMatch, 16}};
+    records.push_back(std::move(r));
+  }
+  auto ds = engine.parallelize(records, 4);
+  const auto persisted = SerializedDataset<SamRecord>::persist(
+      ds, core::make_sam_codec(Codec::kGpf), "cache");
+  EXPECT_EQ(persisted.partition_count(), 4u);
+  EXPECT_GT(persisted.memory_bytes(), 0u);
+  const auto restored = persisted.materialize("cache").collect();
+  EXPECT_EQ(restored, records);
+  // The persist/materialize stages are in the metrics.
+  bool saw_persist = false, saw_materialize = false;
+  for (const auto& s : engine.metrics().stages()) {
+    if (s.name == "cache.persist") saw_persist = true;
+    if (s.name == "cache.materialize") saw_materialize = true;
+  }
+  EXPECT_TRUE(saw_persist);
+  EXPECT_TRUE(saw_materialize);
+}
+
+TEST(SerializedDataset, GpfSerializedFormSmallerThanLiveObjects) {
+  // The paper's memory claim: serialized storage halves memory use.
+  Engine engine({.worker_threads = 2});
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 500; ++i) {
+    SamRecord r;
+    r.qname = "read" + std::to_string(i);
+    r.contig_id = 0;
+    r.pos = i;
+    r.sequence = std::string(100, "ACGT"[i % 4]);
+    r.quality = std::string(100, 'F');
+    r.cigar = {{CigarOp::kMatch, 100}};
+    records.push_back(std::move(r));
+  }
+  std::size_t live = 0;
+  for (const auto& r : records) live += live_size(r);
+  auto ds = engine.parallelize(records, 4);
+  const auto persisted = SerializedDataset<SamRecord>::persist(
+      ds, core::make_sam_codec(Codec::kGpf), "mem");
+  EXPECT_LT(persisted.memory_bytes(), live / 2);
+}
+
+TEST(SerializedDataset, PersistWithoutCodecThrows) {
+  Engine engine({.worker_threads = 1});
+  auto ds = engine.parallelize(iota_vec(4), 2);
+  EXPECT_THROW(SerializedDataset<int>::persist(ds, {}, "x"),
+               std::invalid_argument);
+}
+
+
+TEST(Engine, SortByProducesGlobalOrder) {
+  Engine engine({.worker_threads = 2});
+  Rng rng(509);
+  std::vector<int> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<int>(rng.below(100000)));
+  }
+  auto ds = engine.parallelize(values, 9);
+  auto sorted = ds.sort_by("sort", 6, [](const int& x) { return x; });
+  EXPECT_EQ(sorted.partition_count(), 6u);
+  const auto out = sorted.collect();
+  ASSERT_EQ(out.size(), values.size());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(out, values);
+}
+
+TEST(Engine, SortByHandlesSkewedKeys) {
+  Engine engine({.worker_threads = 2});
+  std::vector<int> values(1000, 7);  // all identical keys
+  values.push_back(3);
+  values.push_back(11);
+  auto sorted = engine.parallelize(values, 4)
+                    .sort_by("sort", 4, [](const int& x) { return x; });
+  const auto out = sorted.collect();
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 1002u);
+}
+
+TEST(Engine, CoalesceMergesWithoutLosingRecords) {
+  Engine engine({.worker_threads = 2});
+  auto ds = engine.parallelize(iota_vec(100), 10);
+  auto merged = ds.coalesce("merge", 3);
+  EXPECT_EQ(merged.partition_count(), 3u);
+  auto out = merged.collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, iota_vec(100));
+  // Coalescing to more partitions than exist is a no-op.
+  EXPECT_EQ(ds.coalesce("noop", 50).partition_count(), 10u);
+}
+
+TEST(Engine, UnionConcatenates) {
+  Engine engine({.worker_threads = 2});
+  auto a = engine.parallelize(iota_vec(10), 2);
+  auto b = engine.parallelize(iota_vec(5), 1);
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.partition_count(), 3u);
+  EXPECT_EQ(u.count(), 15u);
+}
+
+}  // namespace
+}  // namespace gpf::engine

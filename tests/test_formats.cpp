@@ -1,0 +1,318 @@
+// Unit tests for src/formats: CIGAR, FASTA, FASTQ, SAM, VCF.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "formats/cigar.hpp"
+#include "formats/fasta.hpp"
+#include "formats/bed.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+#include "formats/vcf.hpp"
+
+namespace gpf {
+namespace {
+
+// --- CIGAR -------------------------------------------------------------
+
+TEST(Cigar, ParseAndToString) {
+  const Cigar c = parse_cigar("76M2I20M5S");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0].op, CigarOp::kMatch);
+  EXPECT_EQ(c[0].length, 76u);
+  EXPECT_EQ(c[1].op, CigarOp::kInsertion);
+  EXPECT_EQ(cigar_to_string(c), "76M2I20M5S");
+}
+
+TEST(Cigar, StarIsEmpty) {
+  EXPECT_TRUE(parse_cigar("*").empty());
+  EXPECT_EQ(cigar_to_string({}), "*");
+}
+
+TEST(Cigar, Lengths) {
+  const Cigar c = parse_cigar("10S50M3D40M2I5H");
+  EXPECT_EQ(cigar_read_length(c), 10u + 50 + 40 + 2);
+  EXPECT_EQ(cigar_reference_length(c), 50u + 3 + 40);
+}
+
+TEST(Cigar, RejectsMalformed) {
+  EXPECT_THROW(parse_cigar("M10"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("10"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("10Q"), std::invalid_argument);
+  EXPECT_THROW(parse_cigar("0M"), std::invalid_argument);
+}
+
+TEST(Cigar, RoundTripProperty) {
+  Rng rng(23);
+  const CigarOp ops[] = {CigarOp::kMatch, CigarOp::kInsertion,
+                         CigarOp::kDeletion, CigarOp::kSoftClip,
+                         CigarOp::kSkip};
+  for (int trial = 0; trial < 100; ++trial) {
+    Cigar c;
+    const int n = 1 + static_cast<int>(rng.below(8));
+    CigarOp prev = CigarOp::kPad;
+    for (int i = 0; i < n; ++i) {
+      CigarOp op;
+      do {
+        op = ops[rng.below(5)];
+      } while (op == prev);  // adjacent same-op runs merge in text form
+      prev = op;
+      c.push_back({op, static_cast<std::uint32_t>(1 + rng.below(200))});
+    }
+    EXPECT_EQ(parse_cigar(cigar_to_string(c)), c);
+  }
+}
+
+// --- FASTA -------------------------------------------------------------
+
+TEST(Fasta, ParseBasic) {
+  const Reference ref = parse_fasta(">chr1 description\nACGT\nacgt\n>chr2\nNNRY\n");
+  ASSERT_EQ(ref.contig_count(), 2u);
+  EXPECT_EQ(ref.contig(0).name, "chr1");
+  EXPECT_EQ(ref.contig(0).sequence, "ACGTACGT");
+  // Ambiguity codes become N.
+  EXPECT_EQ(ref.contig(1).sequence, "NNNN");
+  EXPECT_EQ(ref.total_length(), 12u);
+}
+
+TEST(Fasta, FindContig) {
+  const Reference ref = parse_fasta(">a\nAC\n>b\nGT\n");
+  EXPECT_EQ(ref.find_contig("b").value(), 1);
+  EXPECT_FALSE(ref.find_contig("c").has_value());
+}
+
+TEST(Fasta, SliceClampsBounds) {
+  const Reference ref = parse_fasta(">a\nACGTACGT\n");
+  EXPECT_EQ(ref.slice(0, 2, 3), "GTA");
+  EXPECT_EQ(ref.slice(0, -2, 4), "AC");    // clipped at the left edge
+  EXPECT_EQ(ref.slice(0, 6, 100), "GT");   // clipped at the right edge
+  EXPECT_EQ(ref.slice(0, 100, 5), "");     // fully out of range
+}
+
+TEST(Fasta, WriteParseRoundTrip) {
+  const Reference ref = parse_fasta(">chrA\n" + std::string(200, 'A') + "\n");
+  const Reference again = parse_fasta(write_fasta(ref));
+  EXPECT_EQ(again.contig(0).sequence, ref.contig(0).sequence);
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACGT\n"), std::invalid_argument);
+}
+
+// --- FASTQ -------------------------------------------------------------
+
+TEST(Fastq, ParseAndWrite) {
+  const std::string text = "@read1\nACGT\n+\nIIII\n@read2\nTT\n+\nAB\n";
+  const auto records = parse_fastq(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "read1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+  EXPECT_EQ(write_fastq(records), text);
+}
+
+TEST(Fastq, LengthMismatchThrows) {
+  EXPECT_THROW(parse_fastq("@r\nACGT\n+\nII\n"), std::invalid_argument);
+}
+
+TEST(Fastq, MissingSeparatorThrows) {
+  EXPECT_THROW(parse_fastq("@r\nACGT\nIIII\nACGT\n"), std::invalid_argument);
+}
+
+TEST(Fastq, ZipPairs) {
+  auto pairs = zip_pairs({{"a/1", "AC", "II"}}, {{"a/2", "GT", "II"}});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first.name, "a/1");
+  EXPECT_EQ(pairs[0].second.name, "a/2");
+  EXPECT_THROW(zip_pairs({{"a", "A", "I"}}, {}), std::invalid_argument);
+}
+
+// --- SAM ---------------------------------------------------------------
+
+SamHeader two_contig_header() {
+  SamHeader h;
+  h.contigs = {{"chr1", 1000}, {"chr2", 500}};
+  return h;
+}
+
+TEST(Sam, WriteParseRoundTrip) {
+  SamHeader header = two_contig_header();
+  SamRecord rec;
+  rec.qname = "r1";
+  rec.flag = SamFlags::kPaired | SamFlags::kFirstOfPair | SamFlags::kReverse;
+  rec.contig_id = 1;
+  rec.pos = 99;
+  rec.mapq = 60;
+  rec.cigar = parse_cigar("5M");
+  rec.mate_contig_id = 1;
+  rec.mate_pos = 200;
+  rec.tlen = 106;
+  rec.sequence = "ACGTA";
+  rec.quality = "IIIII";
+
+  const std::string text = write_sam(header, {rec});
+  const SamFile parsed = parse_sam(text);
+  EXPECT_EQ(parsed.header, header);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0], rec);
+}
+
+TEST(Sam, UnmappedRoundTrip) {
+  SamRecord rec;
+  rec.qname = "u";
+  rec.flag = SamFlags::kUnmapped;
+  rec.sequence = "AC";
+  rec.quality = "II";
+  const SamFile parsed = parse_sam(write_sam(two_contig_header(), {rec}));
+  EXPECT_EQ(parsed.records[0].contig_id, -1);
+  EXPECT_TRUE(parsed.records[0].is_unmapped());
+}
+
+TEST(Sam, CoordinateLessOrdersProperly) {
+  SamRecord a, b, unmapped;
+  a.contig_id = 0;
+  a.pos = 10;
+  b.contig_id = 0;
+  b.pos = 20;
+  unmapped.flag = SamFlags::kUnmapped;
+  EXPECT_TRUE(coordinate_less(a, b));
+  EXPECT_FALSE(coordinate_less(b, a));
+  EXPECT_TRUE(coordinate_less(b, unmapped));
+  EXPECT_FALSE(coordinate_less(unmapped, a));
+}
+
+TEST(Sam, UnclippedStartForward) {
+  SamRecord rec;
+  rec.contig_id = 0;
+  rec.pos = 100;
+  rec.cigar = parse_cigar("5S90M5S");
+  EXPECT_EQ(rec.unclipped_start(), 95);
+}
+
+TEST(Sam, UnclippedStartReverse) {
+  SamRecord rec;
+  rec.contig_id = 0;
+  rec.pos = 100;
+  rec.flag = SamFlags::kReverse;
+  rec.cigar = parse_cigar("90M10S");
+  // end_pos = 190; plus trailing clip 10 -> unclipped end at 199.
+  EXPECT_EQ(rec.unclipped_start(), 199);
+}
+
+TEST(Sam, EndPos) {
+  SamRecord rec;
+  rec.pos = 10;
+  rec.cigar = parse_cigar("10M5D10M");
+  EXPECT_EQ(rec.end_pos(), 35);
+}
+
+// --- VCF ---------------------------------------------------------------
+
+TEST(Vcf, WriteParseRoundTrip) {
+  VcfHeader header;
+  header.contigs = {{"chr1", 1000}};
+  header.sample_name = "NA12878";
+  VcfRecord v;
+  v.contig_id = 0;
+  v.pos = 41;
+  v.ref = "A";
+  v.alt = "ACGT";
+  v.qual = 55.25;
+  v.genotype = Genotype::kHet;
+
+  const VcfFile parsed = parse_vcf(write_vcf(header, {v}));
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].pos, 41);
+  EXPECT_EQ(parsed.records[0].ref, "A");
+  EXPECT_EQ(parsed.records[0].alt, "ACGT");
+  EXPECT_NEAR(parsed.records[0].qual, 55.25, 0.01);
+  EXPECT_EQ(parsed.records[0].genotype, Genotype::kHet);
+  EXPECT_EQ(parsed.header.sample_name, "NA12878");
+}
+
+TEST(Vcf, VariantClassification) {
+  VcfRecord snp{0, 1, ".", "A", "C", 0, Genotype::kHet};
+  VcfRecord ins{0, 1, ".", "A", "ACC", 0, Genotype::kHet};
+  VcfRecord del{0, 1, ".", "ACC", "A", 0, Genotype::kHet};
+  EXPECT_TRUE(snp.is_snp());
+  EXPECT_TRUE(ins.is_insertion());
+  EXPECT_TRUE(del.is_deletion());
+}
+
+TEST(Vcf, MultiAllelicRejected) {
+  VcfHeader header;
+  header.contigs = {{"chr1", 1000}};
+  const std::string text =
+      "##contig=<ID=chr1,length=1000>\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+      "chr1\t5\t.\tA\tC,G\t10\tPASS\t.\n";
+  EXPECT_THROW(parse_vcf(text), std::invalid_argument);
+}
+
+TEST(Vcf, SortOrder) {
+  VcfRecord a{0, 5, ".", "A", "C", 0, Genotype::kHet};
+  VcfRecord b{0, 5, ".", "A", "G", 0, Genotype::kHet};
+  VcfRecord c{1, 1, ".", "A", "C", 0, Genotype::kHet};
+  EXPECT_TRUE(vcf_less(a, b));
+  EXPECT_TRUE(vcf_less(b, c));
+}
+
+
+// --- BED ----------------------------------------------------------------
+
+TEST(Bed, ParseAndWrite) {
+  const SamHeader header = two_contig_header();
+  const std::string text =
+      "# comment\ntrack name=x\nchr1\t10\t50\texon1\nchr2\t0\t100\n";
+  const auto intervals = parse_bed(text, header);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].contig_id, 0);
+  EXPECT_EQ(intervals[0].start, 10);
+  EXPECT_EQ(intervals[0].end, 50);
+  EXPECT_EQ(intervals[0].name, "exon1");
+  const std::string round = write_bed(intervals, header);
+  EXPECT_EQ(parse_bed(round, header), intervals);
+}
+
+TEST(Bed, UnknownContigThrows) {
+  EXPECT_THROW(parse_bed("chrX\t0\t10\n", two_contig_header()),
+               std::invalid_argument);
+}
+
+TEST(Bed, ShortLineThrows) {
+  EXPECT_THROW(parse_bed("chr1\t0\n", two_contig_header()),
+               std::invalid_argument);
+}
+
+TEST(IntervalSet, MergesOverlapsAndSorts) {
+  IntervalSet set(std::vector<BedInterval>{{0, 50, 80, ""},
+                                           {0, 10, 30, ""},
+                                           {0, 25, 55, ""},
+                                           {1, 5, 10, ""}});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0].start, 10);
+  EXPECT_EQ(set.intervals()[0].end, 80);
+  EXPECT_EQ(set.total_length(), 70 + 5);
+}
+
+TEST(IntervalSet, OverlapQueries) {
+  IntervalSet set(std::vector<BedInterval>{{0, 100, 200, ""},
+                                           {0, 300, 400, ""},
+                                           {2, 0, 50, ""}});
+  EXPECT_TRUE(set.overlaps(0, 150, 160));
+  EXPECT_TRUE(set.overlaps(0, 90, 101));   // touches the left edge
+  EXPECT_FALSE(set.overlaps(0, 200, 300));  // gap between intervals
+  EXPECT_TRUE(set.overlaps(0, 199, 305));   // spans the gap
+  EXPECT_FALSE(set.overlaps(1, 0, 1000));   // wrong contig
+  EXPECT_TRUE(set.contains(2, 0));
+  EXPECT_FALSE(set.contains(2, 50));        // end is exclusive
+  EXPECT_FALSE(set.overlaps(0, 150, 150));  // empty query
+}
+
+TEST(IntervalSet, EmptyAndInvertedIntervalsDropped) {
+  IntervalSet set(std::vector<BedInterval>{{0, 10, 10, ""},
+                                           {0, 20, 15, ""}});
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace gpf

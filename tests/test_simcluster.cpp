@@ -1,0 +1,234 @@
+// Tests for the trace-driven cluster simulator and the shared-filesystem
+// model.
+#include <gtest/gtest.h>
+
+#include "engine/metrics.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/sharedfs.hpp"
+#include "simcluster/trace.hpp"
+
+namespace gpf::sim {
+namespace {
+
+SimJob uniform_job(std::size_t stages, std::size_t tasks_per_stage,
+                   double task_seconds, std::uint64_t disk = 0,
+                   std::uint64_t net = 0) {
+  SimJob job;
+  for (std::size_t s = 0; s < stages; ++s) {
+    SimStage stage;
+    stage.name = "stage" + std::to_string(s);
+    stage.phase = "phase";
+    stage.tasks.assign(tasks_per_stage, {task_seconds, disk, net});
+    job.stages.push_back(std::move(stage));
+  }
+  return job;
+}
+
+TEST(ClusterSim, PerfectScalingForUniformTasks) {
+  const SimJob job = uniform_job(1, 1024, 1.0);
+  ClusterConfig small = ClusterConfig::with_cores(128);
+  ClusterConfig big = ClusterConfig::with_cores(1024);
+  const double t_small = simulate(job, small).makespan;
+  const double t_big = simulate(job, big).makespan;
+  // 8x cores -> ~8x faster for an embarrassingly-parallel uniform stage.
+  EXPECT_NEAR(t_small / t_big, 8.0, 0.5);
+}
+
+TEST(ClusterSim, SkewLimitsScaling) {
+  // One whale task dominates: scaling stalls at the whale's duration.
+  SimJob job = uniform_job(1, 512, 0.1);
+  job.stages[0].tasks[0].compute_seconds = 20.0;
+  const double t = simulate(job, ClusterConfig::with_cores(2048)).makespan;
+  EXPECT_GE(t, 20.0);
+  EXPECT_LT(t, 21.0);
+}
+
+TEST(ClusterSim, MakespanNeverBelowCriticalPath) {
+  const SimJob job = uniform_job(4, 64, 0.5);
+  const auto result = simulate(job, ClusterConfig::with_cores(10240));
+  // 4 stage barriers, each at least one task long.
+  EXPECT_GE(result.makespan, 4 * 0.5);
+}
+
+TEST(ClusterSim, DiskBytesIncreaseMakespan) {
+  const SimJob no_io = uniform_job(1, 256, 0.5);
+  const SimJob with_io = uniform_job(1, 256, 0.5, 50'000'000);
+  const ClusterConfig cluster = ClusterConfig::with_cores(256);
+  EXPECT_GT(simulate(with_io, cluster).makespan,
+            simulate(no_io, cluster).makespan);
+}
+
+TEST(ClusterSim, BlockedTimeAnalysisBounds) {
+  const SimJob job = uniform_job(2, 256, 0.5, 10'000'000, 5'000'000);
+  const auto r = blocked_time_analysis(job, ClusterConfig::with_cores(256));
+  EXPECT_GT(r.disk_improvement(), 0.0);
+  EXPECT_LT(r.disk_improvement(), 1.0);
+  EXPECT_GT(r.net_improvement(), 0.0);
+  EXPECT_LE(r.no_disk_makespan, r.base_makespan);
+  EXPECT_LE(r.no_net_makespan, r.base_makespan);
+}
+
+TEST(ClusterSim, CpuBoundJobHasTinyBlockedImprovement) {
+  // The paper's Fig 12 conclusion: compute-dominated stages see <5%
+  // improvement from removing I/O.
+  const SimJob job = uniform_job(1, 512, 2.0, 100'000, 50'000);
+  const auto r = blocked_time_analysis(job, ClusterConfig::with_cores(512));
+  EXPECT_LT(r.disk_improvement(), 0.05);
+  EXPECT_LT(r.net_improvement(), 0.05);
+}
+
+TEST(ClusterSim, UtilizationTimelineShape) {
+  const SimJob job = uniform_job(1, 512, 1.0, 1'000'000);
+  const auto samples =
+      utilization_timeline(job, ClusterConfig::with_cores(256), 20);
+  ASSERT_EQ(samples.size(), 20u);
+  // Middle of the run: CPU busy.
+  EXPECT_GT(samples[5].cpu_fraction, 0.5);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.cpu_fraction, 0.0);
+    EXPECT_LE(s.cpu_fraction, 1.0);
+  }
+}
+
+TEST(ClusterSim, ReplicateTasksScalesWork) {
+  const SimJob job = uniform_job(2, 16, 1.0);
+  const SimJob big = replicate_tasks(job, 4);
+  EXPECT_EQ(big.stages[0].tasks.size(), 64u);
+  EXPECT_NEAR(big.total_compute_seconds(), 4 * job.total_compute_seconds(),
+              1e-9);
+}
+
+TEST(ClusterSim, ScaleJobScalesBytesAndCompute) {
+  const SimJob job = uniform_job(1, 8, 2.0, 1000, 500);
+  const SimJob scaled = scale_job(job, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.stages[0].tasks[0].compute_seconds, 1.0);
+  EXPECT_EQ(scaled.stages[0].tasks[0].disk_bytes, 3000u);
+  EXPECT_EQ(scaled.stages[0].tasks[0].net_bytes, 1500u);
+}
+
+TEST(ClusterSim, WithCoresSmallCounts) {
+  const auto c = ClusterConfig::with_cores(4);
+  EXPECT_EQ(c.total_cores(), 4u);
+  const auto big = ClusterConfig::with_cores(2048);
+  EXPECT_EQ(big.total_cores(), 2048u);
+}
+
+TEST(ClusterSim, CoreHoursAccounting) {
+  const SimJob job = uniform_job(1, 256, 1.0);
+  const ClusterConfig cluster = ClusterConfig::with_cores(256);
+  const auto result = simulate(job, cluster);
+  EXPECT_NEAR(result.core_hours(cluster),
+              result.makespan * 256.0 / 3600.0, 1e-9);
+}
+
+// --- trace conversion -------------------------------------------------------
+
+TEST(Trace, NarrowStageBecomesComputeOnly) {
+  engine::EngineMetrics metrics;
+  engine::StageMetrics stage;
+  stage.name = "aligner.map";
+  stage.task_count = 4;
+  stage.task_seconds = {1.0, 2.0, 3.0, 4.0};
+  metrics.add_stage(stage);
+
+  const SimJob job = trace_job(metrics);
+  ASSERT_EQ(job.stages.size(), 1u);
+  EXPECT_EQ(job.stages[0].phase, "aligner");
+  EXPECT_EQ(job.stages[0].tasks.size(), 4u);
+  EXPECT_EQ(job.stages[0].tasks[0].disk_bytes, 0u);
+  EXPECT_DOUBLE_EQ(job.stages[0].tasks[3].compute_seconds, 4.0);
+}
+
+TEST(Trace, WideStageSplitsBytesBetweenMapAndReduce) {
+  engine::EngineMetrics metrics;
+  engine::StageMetrics stage;
+  stage.name = "cleaner.shuffle";
+  stage.task_count = 4;
+  stage.task_seconds = {1.0, 1.0, 1.0, 1.0};
+  stage.wide = true;
+  stage.map_task_count = 2;
+  stage.shuffle_write_bytes = 1000;
+  stage.shuffle_read_bytes = 1000;
+  metrics.add_stage(stage);
+
+  const SimJob job = trace_job(metrics);
+  const auto& tasks = job.stages[0].tasks;
+  // Map tasks write to disk only.
+  EXPECT_EQ(tasks[0].disk_bytes, 500u);
+  EXPECT_EQ(tasks[0].net_bytes, 0u);
+  // Reduce tasks read from disk and network.
+  EXPECT_EQ(tasks[2].disk_bytes, 500u);
+  EXPECT_GT(tasks[2].net_bytes, 0u);
+}
+
+TEST(Trace, ScalesComputeAndBytes) {
+  engine::EngineMetrics metrics;
+  engine::StageMetrics stage;
+  stage.name = "x";
+  stage.task_count = 1;
+  stage.task_seconds = {2.0};
+  stage.input_bytes = 100;
+  metrics.add_stage(stage);
+
+  TraceOptions options;
+  options.compute_scale = 3.0;
+  options.bytes_scale = 10.0;
+  const SimJob job = trace_job(metrics, options);
+  EXPECT_DOUBLE_EQ(job.stages[0].tasks[0].compute_seconds, 6.0);
+  // Stage input bytes are cold file traffic (spindle rate).
+  EXPECT_EQ(job.stages[0].tasks[0].cold_disk_bytes, 1000u);
+  EXPECT_EQ(job.stages[0].tasks[0].disk_bytes, 0u);
+}
+
+// --- shared filesystem --------------------------------------------------------
+
+std::vector<FilePipelineStep> wgs_like_steps() {
+  // A 100GB-class WGS pipeline: ~2 CPU-hours of work, ~45GB of stage-file
+  // traffic (the regime of the paper's Table 1 measurement).
+  return {
+      {"align", 3600.0, 8'000'000'000ULL, 9'000'000'000ULL},
+      {"sort", 1200.0, 9'000'000'000ULL, 9'000'000'000ULL},
+      {"call", 2400.0, 9'000'000'000ULL, 500'000'000ULL},
+  };
+}
+
+TEST(SharedFs, IoFractionGrowsWithSamples) {
+  // The Table 1 effect: more concurrent samples -> each gets less
+  // filesystem bandwidth -> I/O share of runtime grows.
+  const auto steps = wgs_like_steps();
+  const auto fs = SharedFsConfig::lustre();
+  const auto one = run_file_pipeline(steps, 1, 96, fs);
+  const auto thirty = run_file_pipeline(steps, 30, 16, fs);
+  EXPECT_LT(one.io_fraction(), thirty.io_fraction());
+  EXPECT_GT(thirty.io_fraction(), 0.5);
+  EXPECT_LT(one.io_fraction(), 0.4);
+}
+
+TEST(SharedFs, NfsWorseThanLustreUnderLoad) {
+  const auto steps = wgs_like_steps();
+  const auto lustre =
+      run_file_pipeline(steps, 30, 16, SharedFsConfig::lustre());
+  const auto nfs = run_file_pipeline(steps, 30, 16, SharedFsConfig::nfs());
+  EXPECT_GT(nfs.io_fraction(), lustre.io_fraction());
+}
+
+TEST(SharedFs, ZeroSamplesIsEmptyResult) {
+  const auto r = run_file_pipeline(wgs_like_steps(), 0, 16,
+                                   SharedFsConfig::lustre());
+  EXPECT_DOUBLE_EQ(r.total_seconds, 0.0);
+}
+
+TEST(SharedFs, PerClientCapLimitsSingleSample) {
+  // With one client, bandwidth is the per-client cap, not the aggregate.
+  SharedFsConfig fs;
+  fs.aggregate_bw = 100e9;
+  fs.per_client_bw = 1e9;
+  fs.concurrency_efficiency = 1.0;
+  const std::vector<FilePipelineStep> steps = {{"io", 0.0, 1'000'000'000ULL,
+                                                0}};
+  const auto r = run_file_pipeline(steps, 1, 8, fs);
+  EXPECT_NEAR(r.io_seconds, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpf::sim
