@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gpf.dir/bench_ablation_gpf.cpp.o"
+  "CMakeFiles/bench_ablation_gpf.dir/bench_ablation_gpf.cpp.o.d"
+  "bench_ablation_gpf"
+  "bench_ablation_gpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

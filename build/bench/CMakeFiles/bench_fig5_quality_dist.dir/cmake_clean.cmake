@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_quality_dist.dir/bench_fig5_quality_dist.cpp.o"
+  "CMakeFiles/bench_fig5_quality_dist.dir/bench_fig5_quality_dist.cpp.o.d"
+  "bench_fig5_quality_dist"
+  "bench_fig5_quality_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_quality_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_io_fraction.dir/bench_table1_io_fraction.cpp.o"
+  "CMakeFiles/bench_table1_io_fraction.dir/bench_table1_io_fraction.cpp.o.d"
+  "bench_table1_io_fraction"
+  "bench_table1_io_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_io_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

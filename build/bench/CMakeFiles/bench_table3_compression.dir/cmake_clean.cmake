@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_compression.dir/bench_table3_compression.cpp.o"
+  "CMakeFiles/bench_table3_compression.dir/bench_table3_compression.cpp.o.d"
+  "bench_table3_compression"
+  "bench_table3_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

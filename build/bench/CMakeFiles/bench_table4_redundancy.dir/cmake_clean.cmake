@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_redundancy.dir/bench_table4_redundancy.cpp.o"
+  "CMakeFiles/bench_table4_redundancy.dir/bench_table4_redundancy.cpp.o.d"
+  "bench_table4_redundancy"
+  "bench_table4_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgpf_bench_common.a"
+  "../lib/libgpf_bench_common.pdb"
+  "CMakeFiles/gpf_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gpf_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgpf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohort_study.dir/cohort_study.cpp.o"
+  "CMakeFiles/cohort_study.dir/cohort_study.cpp.o.d"
+  "cohort_study"
+  "cohort_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohort_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

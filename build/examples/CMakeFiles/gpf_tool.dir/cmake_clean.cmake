@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_tool.dir/gpf_tool.cpp.o"
+  "CMakeFiles/gpf_tool.dir/gpf_tool.cpp.o.d"
+  "gpf_tool"
+  "gpf_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gpf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/caller/CMakeFiles/gpf_caller.dir/DependInfo.cmake"
+  "/root/repo/build/src/cleaner/CMakeFiles/gpf_cleaner.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpf_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/gpf_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/gpf_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gpf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gpf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_discovery.dir/variant_discovery.cpp.o"
+  "CMakeFiles/variant_discovery.dir/variant_discovery.cpp.o.d"
+  "variant_discovery"
+  "variant_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

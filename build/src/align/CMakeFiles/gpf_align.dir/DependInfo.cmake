@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/bwamem.cpp" "src/align/CMakeFiles/gpf_align.dir/bwamem.cpp.o" "gcc" "src/align/CMakeFiles/gpf_align.dir/bwamem.cpp.o.d"
+  "/root/repo/src/align/fm_index.cpp" "src/align/CMakeFiles/gpf_align.dir/fm_index.cpp.o" "gcc" "src/align/CMakeFiles/gpf_align.dir/fm_index.cpp.o.d"
+  "/root/repo/src/align/hash_aligner.cpp" "src/align/CMakeFiles/gpf_align.dir/hash_aligner.cpp.o" "gcc" "src/align/CMakeFiles/gpf_align.dir/hash_aligner.cpp.o.d"
+  "/root/repo/src/align/smith_waterman.cpp" "src/align/CMakeFiles/gpf_align.dir/smith_waterman.cpp.o" "gcc" "src/align/CMakeFiles/gpf_align.dir/smith_waterman.cpp.o.d"
+  "/root/repo/src/align/suffix_array.cpp" "src/align/CMakeFiles/gpf_align.dir/suffix_array.cpp.o" "gcc" "src/align/CMakeFiles/gpf_align.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

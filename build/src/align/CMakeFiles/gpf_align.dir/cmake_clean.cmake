@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_align.dir/bwamem.cpp.o"
+  "CMakeFiles/gpf_align.dir/bwamem.cpp.o.d"
+  "CMakeFiles/gpf_align.dir/fm_index.cpp.o"
+  "CMakeFiles/gpf_align.dir/fm_index.cpp.o.d"
+  "CMakeFiles/gpf_align.dir/hash_aligner.cpp.o"
+  "CMakeFiles/gpf_align.dir/hash_aligner.cpp.o.d"
+  "CMakeFiles/gpf_align.dir/smith_waterman.cpp.o"
+  "CMakeFiles/gpf_align.dir/smith_waterman.cpp.o.d"
+  "CMakeFiles/gpf_align.dir/suffix_array.cpp.o"
+  "CMakeFiles/gpf_align.dir/suffix_array.cpp.o.d"
+  "libgpf_align.a"
+  "libgpf_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_baselines.dir/adamlike.cpp.o"
+  "CMakeFiles/gpf_baselines.dir/adamlike.cpp.o.d"
+  "CMakeFiles/gpf_baselines.dir/churchill.cpp.o"
+  "CMakeFiles/gpf_baselines.dir/churchill.cpp.o.d"
+  "CMakeFiles/gpf_baselines.dir/personalike.cpp.o"
+  "CMakeFiles/gpf_baselines.dir/personalike.cpp.o.d"
+  "libgpf_baselines.a"
+  "libgpf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caller/active_region.cpp" "src/caller/CMakeFiles/gpf_caller.dir/active_region.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/active_region.cpp.o.d"
+  "/root/repo/src/caller/assembler.cpp" "src/caller/CMakeFiles/gpf_caller.dir/assembler.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/assembler.cpp.o.d"
+  "/root/repo/src/caller/genotyper.cpp" "src/caller/CMakeFiles/gpf_caller.dir/genotyper.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/genotyper.cpp.o.d"
+  "/root/repo/src/caller/gvcf.cpp" "src/caller/CMakeFiles/gpf_caller.dir/gvcf.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/gvcf.cpp.o.d"
+  "/root/repo/src/caller/haplotype_caller.cpp" "src/caller/CMakeFiles/gpf_caller.dir/haplotype_caller.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/haplotype_caller.cpp.o.d"
+  "/root/repo/src/caller/pairhmm.cpp" "src/caller/CMakeFiles/gpf_caller.dir/pairhmm.cpp.o" "gcc" "src/caller/CMakeFiles/gpf_caller.dir/pairhmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpf_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_caller.dir/active_region.cpp.o"
+  "CMakeFiles/gpf_caller.dir/active_region.cpp.o.d"
+  "CMakeFiles/gpf_caller.dir/assembler.cpp.o"
+  "CMakeFiles/gpf_caller.dir/assembler.cpp.o.d"
+  "CMakeFiles/gpf_caller.dir/genotyper.cpp.o"
+  "CMakeFiles/gpf_caller.dir/genotyper.cpp.o.d"
+  "CMakeFiles/gpf_caller.dir/gvcf.cpp.o"
+  "CMakeFiles/gpf_caller.dir/gvcf.cpp.o.d"
+  "CMakeFiles/gpf_caller.dir/haplotype_caller.cpp.o"
+  "CMakeFiles/gpf_caller.dir/haplotype_caller.cpp.o.d"
+  "CMakeFiles/gpf_caller.dir/pairhmm.cpp.o"
+  "CMakeFiles/gpf_caller.dir/pairhmm.cpp.o.d"
+  "libgpf_caller.a"
+  "libgpf_caller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_caller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

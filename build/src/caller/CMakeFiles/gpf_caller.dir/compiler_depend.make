@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpf_caller.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cleaner/bqsr.cpp" "src/cleaner/CMakeFiles/gpf_cleaner.dir/bqsr.cpp.o" "gcc" "src/cleaner/CMakeFiles/gpf_cleaner.dir/bqsr.cpp.o.d"
+  "/root/repo/src/cleaner/indel_realign.cpp" "src/cleaner/CMakeFiles/gpf_cleaner.dir/indel_realign.cpp.o" "gcc" "src/cleaner/CMakeFiles/gpf_cleaner.dir/indel_realign.cpp.o.d"
+  "/root/repo/src/cleaner/markdup.cpp" "src/cleaner/CMakeFiles/gpf_cleaner.dir/markdup.cpp.o" "gcc" "src/cleaner/CMakeFiles/gpf_cleaner.dir/markdup.cpp.o.d"
+  "/root/repo/src/cleaner/sorter.cpp" "src/cleaner/CMakeFiles/gpf_cleaner.dir/sorter.cpp.o" "gcc" "src/cleaner/CMakeFiles/gpf_cleaner.dir/sorter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpf_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

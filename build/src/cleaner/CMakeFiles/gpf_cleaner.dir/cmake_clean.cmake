@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_cleaner.dir/bqsr.cpp.o"
+  "CMakeFiles/gpf_cleaner.dir/bqsr.cpp.o.d"
+  "CMakeFiles/gpf_cleaner.dir/indel_realign.cpp.o"
+  "CMakeFiles/gpf_cleaner.dir/indel_realign.cpp.o.d"
+  "CMakeFiles/gpf_cleaner.dir/markdup.cpp.o"
+  "CMakeFiles/gpf_cleaner.dir/markdup.cpp.o.d"
+  "CMakeFiles/gpf_cleaner.dir/sorter.cpp.o"
+  "CMakeFiles/gpf_cleaner.dir/sorter.cpp.o.d"
+  "libgpf_cleaner.a"
+  "libgpf_cleaner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

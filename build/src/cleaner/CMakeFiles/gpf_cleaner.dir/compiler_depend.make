@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpf_cleaner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_common.dir/histogram.cpp.o"
+  "CMakeFiles/gpf_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/gpf_common.dir/logging.cpp.o"
+  "CMakeFiles/gpf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gpf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gpf_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gpf_common.dir/timer.cpp.o"
+  "CMakeFiles/gpf_common.dir/timer.cpp.o.d"
+  "libgpf_common.a"
+  "libgpf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/gbam.cpp" "src/compress/CMakeFiles/gpf_compress.dir/gbam.cpp.o" "gcc" "src/compress/CMakeFiles/gpf_compress.dir/gbam.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/gpf_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/gpf_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/qual_codec.cpp" "src/compress/CMakeFiles/gpf_compress.dir/qual_codec.cpp.o" "gcc" "src/compress/CMakeFiles/gpf_compress.dir/qual_codec.cpp.o.d"
+  "/root/repo/src/compress/record_codec.cpp" "src/compress/CMakeFiles/gpf_compress.dir/record_codec.cpp.o" "gcc" "src/compress/CMakeFiles/gpf_compress.dir/record_codec.cpp.o.d"
+  "/root/repo/src/compress/seq_codec.cpp" "src/compress/CMakeFiles/gpf_compress.dir/seq_codec.cpp.o" "gcc" "src/compress/CMakeFiles/gpf_compress.dir/seq_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_compress.dir/gbam.cpp.o"
+  "CMakeFiles/gpf_compress.dir/gbam.cpp.o.d"
+  "CMakeFiles/gpf_compress.dir/huffman.cpp.o"
+  "CMakeFiles/gpf_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/gpf_compress.dir/qual_codec.cpp.o"
+  "CMakeFiles/gpf_compress.dir/qual_codec.cpp.o.d"
+  "CMakeFiles/gpf_compress.dir/record_codec.cpp.o"
+  "CMakeFiles/gpf_compress.dir/record_codec.cpp.o.d"
+  "CMakeFiles/gpf_compress.dir/seq_codec.cpp.o"
+  "CMakeFiles/gpf_compress.dir/seq_codec.cpp.o.d"
+  "libgpf_compress.a"
+  "libgpf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

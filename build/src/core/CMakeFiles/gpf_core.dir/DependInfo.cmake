@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cohort.cpp" "src/core/CMakeFiles/gpf_core.dir/cohort.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/cohort.cpp.o.d"
+  "/root/repo/src/core/file_io.cpp" "src/core/CMakeFiles/gpf_core.dir/file_io.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/file_io.cpp.o.d"
+  "/root/repo/src/core/partition_info.cpp" "src/core/CMakeFiles/gpf_core.dir/partition_info.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/partition_info.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/gpf_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/processes.cpp" "src/core/CMakeFiles/gpf_core.dir/processes.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/processes.cpp.o.d"
+  "/root/repo/src/core/resource.cpp" "src/core/CMakeFiles/gpf_core.dir/resource.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/resource.cpp.o.d"
+  "/root/repo/src/core/wgs_pipeline.cpp" "src/core/CMakeFiles/gpf_core.dir/wgs_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gpf_core.dir/wgs_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gpf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gpf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpf_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/cleaner/CMakeFiles/gpf_cleaner.dir/DependInfo.cmake"
+  "/root/repo/build/src/caller/CMakeFiles/gpf_caller.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_core.dir/cohort.cpp.o"
+  "CMakeFiles/gpf_core.dir/cohort.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/file_io.cpp.o"
+  "CMakeFiles/gpf_core.dir/file_io.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/partition_info.cpp.o"
+  "CMakeFiles/gpf_core.dir/partition_info.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/gpf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/processes.cpp.o"
+  "CMakeFiles/gpf_core.dir/processes.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/resource.cpp.o"
+  "CMakeFiles/gpf_core.dir/resource.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/wgs_pipeline.cpp.o"
+  "CMakeFiles/gpf_core.dir/wgs_pipeline.cpp.o.d"
+  "libgpf_core.a"
+  "libgpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

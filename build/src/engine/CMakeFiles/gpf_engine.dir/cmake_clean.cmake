@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_engine.dir/metrics.cpp.o"
+  "CMakeFiles/gpf_engine.dir/metrics.cpp.o.d"
+  "libgpf_engine.a"
+  "libgpf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/bed.cpp" "src/formats/CMakeFiles/gpf_formats.dir/bed.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/bed.cpp.o.d"
+  "/root/repo/src/formats/cigar.cpp" "src/formats/CMakeFiles/gpf_formats.dir/cigar.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/cigar.cpp.o.d"
+  "/root/repo/src/formats/fasta.cpp" "src/formats/CMakeFiles/gpf_formats.dir/fasta.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/fasta.cpp.o.d"
+  "/root/repo/src/formats/fastq.cpp" "src/formats/CMakeFiles/gpf_formats.dir/fastq.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/fastq.cpp.o.d"
+  "/root/repo/src/formats/sam.cpp" "src/formats/CMakeFiles/gpf_formats.dir/sam.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/sam.cpp.o.d"
+  "/root/repo/src/formats/vcf.cpp" "src/formats/CMakeFiles/gpf_formats.dir/vcf.cpp.o" "gcc" "src/formats/CMakeFiles/gpf_formats.dir/vcf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_formats.dir/bed.cpp.o"
+  "CMakeFiles/gpf_formats.dir/bed.cpp.o.d"
+  "CMakeFiles/gpf_formats.dir/cigar.cpp.o"
+  "CMakeFiles/gpf_formats.dir/cigar.cpp.o.d"
+  "CMakeFiles/gpf_formats.dir/fasta.cpp.o"
+  "CMakeFiles/gpf_formats.dir/fasta.cpp.o.d"
+  "CMakeFiles/gpf_formats.dir/fastq.cpp.o"
+  "CMakeFiles/gpf_formats.dir/fastq.cpp.o.d"
+  "CMakeFiles/gpf_formats.dir/sam.cpp.o"
+  "CMakeFiles/gpf_formats.dir/sam.cpp.o.d"
+  "CMakeFiles/gpf_formats.dir/vcf.cpp.o"
+  "CMakeFiles/gpf_formats.dir/vcf.cpp.o.d"
+  "libgpf_formats.a"
+  "libgpf_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/cluster.cpp" "src/simcluster/CMakeFiles/gpf_simcluster.dir/cluster.cpp.o" "gcc" "src/simcluster/CMakeFiles/gpf_simcluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/simcluster/sharedfs.cpp" "src/simcluster/CMakeFiles/gpf_simcluster.dir/sharedfs.cpp.o" "gcc" "src/simcluster/CMakeFiles/gpf_simcluster.dir/sharedfs.cpp.o.d"
+  "/root/repo/src/simcluster/trace.cpp" "src/simcluster/CMakeFiles/gpf_simcluster.dir/trace.cpp.o" "gcc" "src/simcluster/CMakeFiles/gpf_simcluster.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gpf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gpf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

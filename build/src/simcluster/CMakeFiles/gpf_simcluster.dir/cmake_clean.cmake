@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_simcluster.dir/cluster.cpp.o"
+  "CMakeFiles/gpf_simcluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/gpf_simcluster.dir/sharedfs.cpp.o"
+  "CMakeFiles/gpf_simcluster.dir/sharedfs.cpp.o.d"
+  "CMakeFiles/gpf_simcluster.dir/trace.cpp.o"
+  "CMakeFiles/gpf_simcluster.dir/trace.cpp.o.d"
+  "libgpf_simcluster.a"
+  "libgpf_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpf_simcluster.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/quality_model.cpp" "src/simdata/CMakeFiles/gpf_simdata.dir/quality_model.cpp.o" "gcc" "src/simdata/CMakeFiles/gpf_simdata.dir/quality_model.cpp.o.d"
+  "/root/repo/src/simdata/read_sim.cpp" "src/simdata/CMakeFiles/gpf_simdata.dir/read_sim.cpp.o" "gcc" "src/simdata/CMakeFiles/gpf_simdata.dir/read_sim.cpp.o.d"
+  "/root/repo/src/simdata/reference_gen.cpp" "src/simdata/CMakeFiles/gpf_simdata.dir/reference_gen.cpp.o" "gcc" "src/simdata/CMakeFiles/gpf_simdata.dir/reference_gen.cpp.o.d"
+  "/root/repo/src/simdata/variant_gen.cpp" "src/simdata/CMakeFiles/gpf_simdata.dir/variant_gen.cpp.o" "gcc" "src/simdata/CMakeFiles/gpf_simdata.dir/variant_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gpf_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

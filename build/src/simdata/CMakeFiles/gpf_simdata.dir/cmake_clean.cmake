@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_simdata.dir/quality_model.cpp.o"
+  "CMakeFiles/gpf_simdata.dir/quality_model.cpp.o.d"
+  "CMakeFiles/gpf_simdata.dir/read_sim.cpp.o"
+  "CMakeFiles/gpf_simdata.dir/read_sim.cpp.o.d"
+  "CMakeFiles/gpf_simdata.dir/reference_gen.cpp.o"
+  "CMakeFiles/gpf_simdata.dir/reference_gen.cpp.o.d"
+  "CMakeFiles/gpf_simdata.dir/variant_gen.cpp.o"
+  "CMakeFiles/gpf_simdata.dir/variant_gen.cpp.o.d"
+  "libgpf_simdata.a"
+  "libgpf_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caller.dir/test_caller.cpp.o"
+  "CMakeFiles/test_caller.dir/test_caller.cpp.o.d"
+  "test_caller"
+  "test_caller.pdb"
+  "test_caller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

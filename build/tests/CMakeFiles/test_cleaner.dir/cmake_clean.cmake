@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cleaner.dir/test_cleaner.cpp.o"
+  "CMakeFiles/test_cleaner.dir/test_cleaner.cpp.o.d"
+  "test_cleaner"
+  "test_cleaner.pdb"
+  "test_cleaner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

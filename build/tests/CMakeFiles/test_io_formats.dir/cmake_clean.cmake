@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_formats.dir/test_io_formats.cpp.o"
+  "CMakeFiles/test_io_formats.dir/test_io_formats.cpp.o.d"
+  "test_io_formats"
+  "test_io_formats.pdb"
+  "test_io_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

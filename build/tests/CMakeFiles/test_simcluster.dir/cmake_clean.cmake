@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcluster.dir/test_simcluster.cpp.o"
+  "CMakeFiles/test_simcluster.dir/test_simcluster.cpp.o.d"
+  "test_simcluster"
+  "test_simcluster.pdb"
+  "test_simcluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simdata.dir/test_simdata.cpp.o"
+  "CMakeFiles/test_simdata.dir/test_simdata.cpp.o.d"
+  "test_simdata"
+  "test_simdata.pdb"
+  "test_simdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_simcluster[1]_include.cmake")
+include("/root/repo/build/tests/test_simdata[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_cleaner[1]_include.cmake")
+include("/root/repo/build/tests/test_caller[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_io_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
