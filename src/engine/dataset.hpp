@@ -12,6 +12,12 @@
 //  * Shuffles optionally round-trip records through a real serializer
 //    (Java-like / Kryo-like / GPF codecs), which is how the compression
 //    experiments measure bytes actually moved.
+//  * Stages run on a fault-tolerant executor (engine/stage_executor.hpp):
+//    failed attempts retry from their immutable inputs, retry exhaustion
+//    surfaces as a typed StageFailure, shuffle blocks are checksummed so
+//    corruption is detected and retried, and injected stragglers trigger
+//    speculative re-execution.  A seeded FaultInjector (optional, attached
+//    to the Engine) makes all of this testable deterministically.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -28,7 +35,9 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "engine/fault_injector.hpp"
 #include "engine/metrics.hpp"
+#include "engine/stage_executor.hpp"
 
 namespace gpf::engine {
 
@@ -53,6 +62,13 @@ struct EngineConfig {
   /// are immutable shared partitions, so a retry is exactly a lineage
   /// recompute).
   int max_task_retries = 2;
+  /// Speculative execution: a task whose first attempt carries an injected
+  /// straggler delay at or above the threshold gets a speculative copy
+  /// launched immediately, and the first finished attempt wins.  Keyed on
+  /// the injector's planned delays (not wall-clock observation) so the
+  /// speculative_launches counter is deterministic under a fixed seed.
+  bool speculative_execution = true;
+  double speculation_delay_threshold_ms = 20.0;
 };
 
 template <typename T>
@@ -72,6 +88,20 @@ class Engine {
   EngineMetrics& metrics() { return metrics_; }
   const EngineMetrics& metrics() const { return metrics_; }
 
+  /// Attaches a fault injector consulted by every task attempt (nullptr
+  /// detaches).  Injection is fully deterministic given the injector's
+  /// seed; see engine/fault_injector.hpp.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// The executor-facing slice of the configuration.
+  StageExecPolicy exec_policy() const {
+    return {config_.max_task_retries, config_.speculative_execution,
+            config_.speculation_delay_threshold_ms};
+  }
+
   /// Creates a dataset from pre-partitioned data.
   template <typename T>
   Dataset<T> make_dataset(std::vector<std::vector<T>> partitions);
@@ -84,6 +114,7 @@ class Engine {
   EngineConfig config_;
   ThreadPool pool_;
   EngineMetrics metrics_;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 /// A partitioned in-memory collection.  Cheap to copy (partitions are
@@ -173,7 +204,10 @@ class Dataset {
   /// partition and returns the output partition; it runs once per
   /// partition, in parallel, and per-task compute time is recorded.
   /// Failed tasks are retried per EngineConfig::max_task_retries — input
-  /// partitions are immutable, so a retry is a clean lineage recompute.
+  /// partitions are immutable, so a retry is a clean lineage recompute —
+  /// and retry exhaustion throws a StageFailure.  `fn` may therefore be
+  /// invoked more than once (and concurrently, under speculation) for the
+  /// same partition; it must be a pure function of its input.
   template <typename U, typename Fn>
   Dataset<U> map_partitions(const std::string& stage_name, Fn&& fn) const {
     return map_partitions_indexed<U>(
@@ -186,25 +220,26 @@ class Dataset {
   Dataset<U> map_partitions_indexed(const std::string& stage_name,
                                     Fn&& fn) const {
     const std::size_t n = partitions_->size();
-    auto out = std::make_shared<std::vector<std::vector<U>>>(n);
     StageMetrics stage;
     stage.name = stage_name;
     stage.task_count = n;
     stage.task_seconds.assign(n, 0.0);
-    std::atomic<std::size_t> retries{0};
 
-    const int max_retries = engine_->config().max_task_retries;
+    FaultInjector* injector = engine_->fault_injector();
+    const std::size_t ordinal =
+        injector ? injector->begin_stage(stage_name) : 0;
     Timer wall;
-    engine_->pool().parallel_for(n, [&](std::size_t i) {
-      Timer t;
-      (*out)[i] = run_task(max_retries, retries,
-                           [&] { return fn(i, (*partitions_)[i]); });
-      stage.task_seconds[i] = t.seconds();
-    });
-    stage.wall_seconds = wall.seconds();
-    stage.task_retries = retries.load();
-    engine_->metrics().add_stage(std::move(stage));
-
+    auto out = std::make_shared<std::vector<std::vector<U>>>();
+    try {
+      *out = execute_stage<std::vector<U>>(
+          engine_->pool(), engine_->exec_policy(), injector, stage, ordinal,
+          n, /*task_offset=*/0,
+          [&](std::size_t i, int) { return fn(i, (*partitions_)[i]); });
+    } catch (...) {
+      record_stage(std::move(stage), wall, /*failed=*/true);
+      throw;
+    }
+    record_stage(std::move(stage), wall, /*failed=*/false);
     return Dataset<U>(engine_, std::move(out));
   }
 
@@ -212,6 +247,9 @@ class Dataset {
   /// partition chosen by `part_fn(record) % num_out`.  When the dataset
   /// carries a codec and the engine is configured to serialize shuffles,
   /// every block is round-tripped through bytes and the volume recorded.
+  /// Blocks carry a checksum and record count; a reduce task that reads a
+  /// corrupted block (or whose codec decodes to the wrong length) fails
+  /// with ShuffleBlockError and is retried against the pristine bytes.
   template <typename PartFn>
   Dataset shuffle(const std::string& stage_name, std::size_t num_out,
                   PartFn&& part_fn) const {
@@ -227,80 +265,149 @@ class Dataset {
     stage.wide = true;
     stage.map_task_count = n_in;
 
+    FaultInjector* injector = engine_->fault_injector();
+    const std::size_t ordinal =
+        injector ? injector->begin_stage(stage_name) : 0;
+    const StageExecPolicy policy = engine_->exec_policy();
+
+    /// Integrity metadata recorded per block on the map side.
+    struct BlockMeta {
+      std::uint64_t checksum = 0;
+      std::size_t records = 0;
+    };
+    struct MapOut {
+      std::vector<std::vector<T>> buckets;             // no-codec path
+      std::vector<std::vector<std::uint8_t>> encoded;  // codec path
+      std::vector<BlockMeta> meta;
+      std::uint64_t write_bytes = 0;
+      double ser_seconds = 0.0;
+    };
+
     // Map side: bucket each input partition into num_out blocks.
-    std::vector<std::vector<std::vector<T>>> blocks(n_in);
-    std::vector<std::vector<std::vector<std::uint8_t>>> encoded(n_in);
-    std::vector<std::uint64_t> write_bytes(n_in, 0);
-    std::vector<double> ser_seconds(n_in + num_out, 0.0);
-
     Timer wall;
-    engine_->pool().parallel_for(n_in, [&](std::size_t i) {
-      Timer t;
-      auto& buckets = blocks[i];
-      buckets.resize(num_out);
-      for (const auto& x : (*partitions_)[i]) {
-        buckets[part_fn(x) % num_out].push_back(x);
-      }
-      if (use_codec) {
-        Timer ser;
-        encoded[i].resize(num_out);
-        for (std::size_t b = 0; b < num_out; ++b) {
-          encoded[i][b] = codec_->encode(
-              std::span<const T>(buckets[b].data(), buckets[b].size()));
-          write_bytes[i] += encoded[i][b].size();
-          buckets[b].clear();
-          buckets[b].shrink_to_fit();
-        }
-        ser_seconds[i] = ser.seconds();
-      }
-      stage.task_seconds[i] = t.seconds();
-    });
+    std::vector<MapOut> map_outs;
+    try {
+      map_outs = execute_stage<MapOut>(
+          engine_->pool(), policy, injector, stage, ordinal, n_in,
+          /*task_offset=*/0, [&](std::size_t i, int) {
+            MapOut out;
+            out.buckets.resize(num_out);
+            for (const auto& x : (*partitions_)[i]) {
+              out.buckets[part_fn(x) % num_out].push_back(x);
+            }
+            if (use_codec) {
+              Timer ser;
+              out.encoded.resize(num_out);
+              out.meta.resize(num_out);
+              for (std::size_t b = 0; b < num_out; ++b) {
+                out.encoded[b] = codec_->encode(std::span<const T>(
+                    out.buckets[b].data(), out.buckets[b].size()));
+                out.meta[b] = {shuffle_block_checksum(out.encoded[b]),
+                               out.buckets[b].size()};
+                out.write_bytes += out.encoded[b].size();
+                out.buckets[b].clear();
+                out.buckets[b].shrink_to_fit();
+              }
+              out.ser_seconds = ser.seconds();
+            }
+            return out;
+          });
+    } catch (...) {
+      record_stage(std::move(stage), wall, /*failed=*/true);
+      throw;
+    }
 
-    // Reduce side: gather blocks per output partition.
+    // Reduce side: gather blocks per output partition.  Attempts only read
+    // the shared map output (no moves), so retries and speculative copies
+    // always see pristine blocks.
+    struct ReduceOut {
+      std::vector<T> records;
+      std::uint64_t read_bytes = 0;
+      double ser_seconds = 0.0;
+    };
+    std::atomic<std::size_t> corruptions{0};
+    std::vector<ReduceOut> reduce_outs;
+    try {
+      reduce_outs = execute_stage<ReduceOut>(
+          engine_->pool(), policy, injector, stage, ordinal, num_out,
+          /*task_offset=*/n_in, [&](std::size_t b, int attempt) {
+            ReduceOut out;
+            if (use_codec) {
+              Timer ser;
+              for (std::size_t i = 0; i < n_in; ++i) {
+                const auto& encoded = map_outs[i].encoded[b];
+                const BlockMeta& meta = map_outs[i].meta[b];
+                out.read_bytes += encoded.size();
+                std::span<const std::uint8_t> block(encoded.data(),
+                                                    encoded.size());
+                std::optional<std::vector<std::uint8_t>> corrupted;
+                if (injector) {
+                  corrupted = injector->corrupted_copy(stage_name, ordinal,
+                                                       i, b, attempt, block);
+                  if (corrupted) {
+                    corruptions.fetch_add(1);
+                    block = std::span<const std::uint8_t>(corrupted->data(),
+                                                          corrupted->size());
+                  }
+                }
+                if (shuffle_block_checksum(block) != meta.checksum) {
+                  throw ShuffleBlockError(
+                      "shuffle block " + std::to_string(i) + "->" +
+                      std::to_string(b) + " of stage '" + stage_name +
+                      "' failed its checksum");
+                }
+                auto records = codec_->decode(block);
+                if (records.size() != meta.records) {
+                  throw ShuffleBlockError(
+                      "shuffle block " + std::to_string(i) + "->" +
+                      std::to_string(b) + " of stage '" + stage_name +
+                      "' decoded to " + std::to_string(records.size()) +
+                      " records, expected " + std::to_string(meta.records));
+                }
+                out.records.insert(out.records.end(),
+                                   std::make_move_iterator(records.begin()),
+                                   std::make_move_iterator(records.end()));
+              }
+              out.ser_seconds = ser.seconds();
+            } else {
+              for (std::size_t i = 0; i < n_in; ++i) {
+                const auto& blk = map_outs[i].buckets[b];
+                out.records.insert(out.records.end(), blk.begin(), blk.end());
+              }
+            }
+            return out;
+          });
+    } catch (...) {
+      stage.injected_faults += corruptions.load();
+      record_stage(std::move(stage), wall, /*failed=*/true);
+      throw;
+    }
+    stage.injected_faults += corruptions.load();
+
     auto out = std::make_shared<Partitions>(num_out);
-    std::vector<std::uint64_t> read_bytes(num_out, 0);
-    engine_->pool().parallel_for(num_out, [&](std::size_t b) {
-      Timer t;
-      auto& dest = (*out)[b];
-      if (use_codec) {
-        Timer ser;
-        for (std::size_t i = 0; i < n_in; ++i) {
-          read_bytes[b] += encoded[i][b].size();
-          auto records = codec_->decode(std::span<const std::uint8_t>(
-              encoded[i][b].data(), encoded[i][b].size()));
-          dest.insert(dest.end(), std::make_move_iterator(records.begin()),
-                      std::make_move_iterator(records.end()));
-        }
-        ser_seconds[n_in + b] = ser.seconds();
-      } else {
-        for (std::size_t i = 0; i < n_in; ++i) {
-          auto& blk = blocks[i][b];
-          dest.insert(dest.end(), std::make_move_iterator(blk.begin()),
-                      std::make_move_iterator(blk.end()));
-        }
-      }
-      stage.task_seconds[n_in + b] = t.seconds();
-    });
+    for (std::size_t b = 0; b < num_out; ++b) {
+      (*out)[b] = std::move(reduce_outs[b].records);
+    }
 
-    stage.wall_seconds = wall.seconds();
-    stage.shuffle_write_bytes =
-        std::accumulate(write_bytes.begin(), write_bytes.end(),
-                        std::uint64_t{0});
-    stage.shuffle_read_bytes = std::accumulate(
-        read_bytes.begin(), read_bytes.end(), std::uint64_t{0});
+    for (const auto& m : map_outs) {
+      stage.shuffle_write_bytes += m.write_bytes;
+      stage.serialization_seconds += m.ser_seconds;
+    }
+    for (const auto& r : reduce_outs) {
+      stage.shuffle_read_bytes += r.read_bytes;
+      stage.serialization_seconds += r.ser_seconds;
+    }
     if (!use_codec) {
       // Without a codec we still estimate moved volume from record count
       // times a nominal record size so redundancy metrics stay comparable.
       std::uint64_t records_moved = 0;
-      for (const auto& part_blocks : blocks) {
-        for (const auto& blk : part_blocks) records_moved += blk.size();
+      for (const auto& m : map_outs) {
+        for (const auto& blk : m.buckets) records_moved += blk.size();
       }
       stage.shuffle_write_bytes = records_moved * sizeof(T);
       stage.shuffle_read_bytes = stage.shuffle_write_bytes;
     }
-    stage.serialization_seconds =
-        std::accumulate(ser_seconds.begin(), ser_seconds.end(), 0.0);
-    engine_->metrics().add_stage(std::move(stage));
+    record_stage(std::move(stage), wall, /*failed=*/false);
 
     Dataset result(engine_, std::move(out));
     result.codec_ = codec_;
@@ -325,6 +432,50 @@ class Dataset {
           std::vector<std::pair<K, std::vector<T>>> out;
           out.reserve(groups.size());
           for (auto& [k, v] : groups) out.emplace_back(k, std::move(v));
+          return out;
+        });
+  }
+
+  /// Wide transformation: inner hash join with `other` on matching keys.
+  /// Both sides co-shuffle to `num_out` partitions by key hash, then each
+  /// output partition pairs every left record with every right record
+  /// sharing its key (Spark's join semantics, including duplicate keys).
+  template <typename U, typename KeyFn, typename OtherKeyFn>
+  auto join(const std::string& stage_name, const Dataset<U>& other,
+            std::size_t num_out, KeyFn&& key_fn,
+            OtherKeyFn&& other_key_fn) const
+      -> Dataset<std::pair<std::decay_t<std::invoke_result_t<KeyFn, const T&>>,
+                           std::pair<T, U>>> {
+    using K = std::decay_t<std::invoke_result_t<KeyFn, const T&>>;
+    static_assert(
+        std::is_same_v<
+            K, std::decay_t<std::invoke_result_t<OtherKeyFn, const U&>>>,
+        "join: both key extractors must produce the same key type");
+    if (num_out == 0) throw std::invalid_argument("join: num_out == 0");
+    auto left = shuffle(stage_name + ".left", num_out, [key_fn](const T& x) {
+      return std::hash<K>{}(key_fn(x));
+    });
+    auto right = other.shuffle(stage_name + ".right", num_out,
+                               [other_key_fn](const U& y) {
+                                 return std::hash<K>{}(other_key_fn(y));
+                               });
+    const auto right_parts = right.partitions_;
+    return left.template map_partitions_indexed<std::pair<K, std::pair<T, U>>>(
+        stage_name + ".join",
+        [key_fn, other_key_fn, right_parts](std::size_t pid,
+                                            const std::vector<T>& lpart) {
+          std::unordered_map<K, std::vector<const U*>> index;
+          for (const U& y : (*right_parts)[pid]) {
+            index[other_key_fn(y)].push_back(&y);
+          }
+          std::vector<std::pair<K, std::pair<T, U>>> out;
+          for (const T& x : lpart) {
+            const auto it = index.find(key_fn(x));
+            if (it == index.end()) continue;
+            for (const U* y : it->second) {
+              out.emplace_back(it->first, std::make_pair(x, *y));
+            }
+          }
           return out;
         });
   }
@@ -409,21 +560,31 @@ class Dataset {
   U aggregate(const std::string& stage_name, U init, Fold&& fold,
               Combine&& combine) const {
     const std::size_t n = partitions_->size();
-    std::vector<U> partials(n, init);
     StageMetrics stage;
     stage.name = stage_name;
     stage.task_count = n;
     stage.task_seconds.assign(n, 0.0);
+
+    FaultInjector* injector = engine_->fault_injector();
+    const std::size_t ordinal =
+        injector ? injector->begin_stage(stage_name) : 0;
     Timer wall;
-    engine_->pool().parallel_for(n, [&](std::size_t i) {
-      Timer t;
-      U acc = init;
-      for (const auto& x : (*partitions_)[i]) acc = fold(std::move(acc), x);
-      partials[i] = std::move(acc);
-      stage.task_seconds[i] = t.seconds();
-    });
-    stage.wall_seconds = wall.seconds();
-    engine_->metrics().add_stage(std::move(stage));
+    std::vector<U> partials;
+    try {
+      partials = execute_stage<U>(
+          engine_->pool(), engine_->exec_policy(), injector, stage, ordinal,
+          n, /*task_offset=*/0, [&](std::size_t i, int) {
+            U acc = init;
+            for (const auto& x : (*partitions_)[i]) {
+              acc = fold(std::move(acc), x);
+            }
+            return acc;
+          });
+    } catch (...) {
+      record_stage(std::move(stage), wall, /*failed=*/true);
+      throw;
+    }
+    record_stage(std::move(stage), wall, /*failed=*/false);
     U result = init;
     for (auto& p : partials) result = combine(std::move(result), std::move(p));
     return result;
@@ -433,21 +594,13 @@ class Dataset {
   template <typename U>
   friend class Dataset;
 
-  /// Runs `attempt` with up to `max_retries` re-executions on exception;
-  /// rethrows the final failure (which parallel_for surfaces to the
-  /// caller).
-  template <typename Attempt>
-  static auto run_task(int max_retries, std::atomic<std::size_t>& retries,
-                       Attempt&& attempt)
-      -> decltype(attempt()) {
-    for (int attempt_no = 0;; ++attempt_no) {
-      try {
-        return attempt();
-      } catch (...) {
-        if (attempt_no >= max_retries) throw;
-        ++retries;
-      }
-    }
+  /// Stamps the wall time and files the stage with the engine — also for
+  /// failed stages, so chaos runs can audit retry/fault accounting.
+  void record_stage(StageMetrics&& stage, const Timer& wall,
+                    bool failed) const {
+    stage.wall_seconds = wall.seconds();
+    stage.failed = failed;
+    engine_->metrics().add_stage(std::move(stage));
   }
 
   Engine* engine_ = nullptr;

@@ -48,6 +48,27 @@ double EngineMetrics::total_wall_seconds() const {
   return total;
 }
 
+std::size_t EngineMetrics::total_failed_attempts() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& s : stages_) total += s.failed_attempts;
+  return total;
+}
+
+std::size_t EngineMetrics::total_speculative_launches() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& s : stages_) total += s.speculative_launches;
+  return total;
+}
+
+std::size_t EngineMetrics::total_injected_faults() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& s : stages_) total += s.injected_faults;
+  return total;
+}
+
 void EngineMetrics::reset() {
   std::lock_guard lock(mu_);
   stages_.clear();

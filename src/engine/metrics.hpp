@@ -35,6 +35,17 @@ struct StageMetrics {
   std::size_t map_task_count = 0;
   /// Task attempts that failed and were re-executed.
   std::size_t task_retries = 0;
+  /// Task attempts that ended in an exception (injected or real),
+  /// including the final attempt of an exhausted task.
+  std::size_t failed_attempts = 0;
+  /// Speculative copies launched for straggling tasks.
+  std::size_t speculative_launches = 0;
+  /// Faults the injector introduced into this stage (failures, straggler
+  /// delays and corrupted shuffle blocks).
+  std::size_t injected_faults = 0;
+  /// True when the stage aborted after a task exhausted its retry budget
+  /// (the stage is still recorded so chaos runs can audit the wreckage).
+  bool failed = false;
 
   double total_compute_seconds() const;
   double max_task_seconds() const;
@@ -54,6 +65,9 @@ class EngineMetrics {
   double total_serialization_seconds() const;
   double total_compute_seconds() const;
   double total_wall_seconds() const;
+  std::size_t total_failed_attempts() const;
+  std::size_t total_speculative_launches() const;
+  std::size_t total_injected_faults() const;
 
   /// Clears all recorded stages.
   void reset();

@@ -1,0 +1,235 @@
+// The fault-tolerant stage executor.
+//
+// Every stage the engine runs — narrow map tasks, shuffle map side, shuffle
+// reduce side, aggregates — goes through execute_stage(), which adds three
+// behaviours on top of the plain parallel loop the engine used to have:
+//
+//  * Retries: an attempt that throws is re-executed in place (the input
+//    partitions are immutable shared state, so a retry is exactly a
+//    lineage recompute) up to max_retries times; exhaustion surfaces as a
+//    typed StageFailure carrying stage/task/attempt context, and the
+//    partially-executed stage is still recorded in the metrics with
+//    `failed = true`.
+//
+//  * Fault injection: when the engine carries a FaultInjector, each
+//    attempt first serves any planned straggler delay, then asks the
+//    injector whether it should fail.  All injector decisions are pure
+//    hashes of (seed, stage, task, attempt), so the chaos pattern is
+//    schedule-independent.
+//
+//  * Speculative execution: a task whose first attempt is delayed past the
+//    engine's speculation threshold gets a speculative copy submitted
+//    immediately (Spark's spark.speculation, keyed on the injector's
+//    planned delays rather than wall-clock observation so that the
+//    speculative_launches counter is deterministic).  The first finished
+//    attempt claims the task; the loser — including a straggler still
+//    sleeping in its injected delay, which polls the claim flag — is
+//    discarded.  Results are identical either way because attempts are
+//    pure functions of the same immutable inputs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "engine/fault_injector.hpp"
+#include "engine/metrics.hpp"
+
+namespace gpf::engine {
+
+/// The slice of EngineConfig the executor needs (kept separate so this
+/// header does not depend on dataset.hpp).
+struct StageExecPolicy {
+  int max_retries = 2;
+  bool speculation = true;
+  double speculation_delay_threshold_ms = 20.0;
+};
+
+namespace detail {
+
+/// Sleeps for `ms`, polling `cancelled` so a straggler whose speculative
+/// copy already won (or whose stage aborted) stops wasting its worker.
+template <typename Cancelled>
+void interruptible_sleep(double ms, Cancelled&& cancelled) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (clock::now() < deadline) {
+    if (cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// What the current exception says, for StageFailure's message.
+inline std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace detail
+
+/// Runs `fn(task, attempt)` for every task in [0, n_tasks), with retries,
+/// fault injection and speculation as described above.  Task identity seen
+/// by the injector and by StageFailure is `task_offset + task` (a wide
+/// stage's reduce tasks are offset past its map tasks).  On success the
+/// per-task results are returned in order and `stage`'s task_seconds
+/// (at [task_offset, task_offset + n_tasks)) plus the retry/failure/
+/// speculation counters are filled in; on exhaustion the counters are
+/// still accumulated before StageFailure propagates.
+template <typename U, typename Fn>
+std::vector<U> execute_stage(ThreadPool& pool, const StageExecPolicy& policy,
+                             FaultInjector* injector, StageMetrics& stage,
+                             std::size_t ordinal, std::size_t n_tasks,
+                             std::size_t task_offset, Fn&& fn) {
+  std::vector<U> results(n_tasks);
+  if (n_tasks == 0) return results;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t open_tasks = n_tasks;
+  std::size_t inflight = 0;
+  std::exception_ptr error;
+  std::atomic<bool> abort{false};
+  auto claimed = std::make_unique<std::atomic<bool>[]>(n_tasks);
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> retried{0};
+  std::atomic<std::size_t> injected{0};
+  std::atomic<std::size_t> speculative{0};
+  const std::string& name = stage.name;
+
+  // First finished attempt claims the task and stores its result.
+  auto finish_win = [&](std::size_t i, U&& r, double seconds) {
+    bool expected = false;
+    if (!claimed[i].compare_exchange_strong(expected, true)) return;
+    results[i] = std::move(r);
+    stage.task_seconds[task_offset + i] = seconds;
+    std::lock_guard lock(mu);
+    --open_tasks;
+    cv.notify_all();
+  };
+
+  // The authoritative attempt loop for one task.
+  auto primary = [&](std::size_t i) {
+    for (int attempt = 0;; ++attempt) {
+      if (abort.load() || claimed[i].load()) return;
+      Timer t;
+      try {
+        if (injector) {
+          const double delay = injector->planned_delay_ms(
+              name, ordinal, task_offset + i, attempt);
+          if (delay > 0.0) {
+            // Attempt 0 delays are counted at submission time (so the
+            // counter cannot race a speculative copy finishing first);
+            // retry-attempt delays are counted as they are served.
+            if (attempt > 0) {
+              injected.fetch_add(1);
+              injector->record_injected_delay();
+            }
+            detail::interruptible_sleep(delay, [&] {
+              return abort.load() || claimed[i].load();
+            });
+            if (abort.load() || claimed[i].load()) return;
+          }
+          injector->check_attempt(name, ordinal, task_offset + i, attempt);
+        }
+        U r = fn(i, attempt);
+        finish_win(i, std::move(r), t.seconds());
+        return;
+      } catch (...) {
+        if (claimed[i].load()) return;  // a speculative copy already won
+        failed.fetch_add(1);
+        try {
+          throw;
+        } catch (const InjectedFault&) {
+          injected.fetch_add(1);
+        } catch (...) {
+        }
+        if (attempt >= policy.max_retries) {
+          auto failure = std::make_exception_ptr(
+              StageFailure(name, task_offset + i, attempt + 1,
+                           detail::current_exception_message()));
+          std::lock_guard lock(mu);
+          if (!error) error = std::move(failure);
+          abort.store(true);
+          cv.notify_all();
+          return;
+        }
+        retried.fetch_add(1);
+      }
+    }
+  };
+
+  // One-shot speculative copy: runs as attempt -1, which the injector
+  // never touches (it models a healthy replacement node).  Its failures
+  // are ignored — the primary attempt loop is authoritative.
+  auto speculative_copy = [&](std::size_t i) {
+    if (abort.load() || claimed[i].load()) return;
+    Timer t;
+    try {
+      U r = fn(i, -1);
+      finish_win(i, std::move(r), t.seconds());
+    } catch (...) {
+    }
+  };
+
+  auto submit = [&](auto job) {
+    {
+      std::lock_guard lock(mu);
+      ++inflight;
+    }
+    pool.submit([&mu, &cv, &inflight, job = std::move(job)] {
+      job();
+      std::lock_guard lock(mu);
+      --inflight;
+      cv.notify_all();
+    });
+  };
+
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const double planned_delay =
+        injector ? injector->planned_delay_ms(name, ordinal, task_offset + i, 0)
+                 : 0.0;
+    if (planned_delay > 0.0) {
+      injected.fetch_add(1);
+      injector->record_injected_delay();
+    }
+    submit([&primary, i] { primary(i); });
+    if (policy.speculation &&
+        planned_delay >= policy.speculation_delay_threshold_ms) {
+      speculative.fetch_add(1);
+      submit([&speculative_copy, i] { speculative_copy(i); });
+    }
+  }
+
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      return inflight == 0 && (open_tasks == 0 || error);
+    });
+  }
+
+  stage.task_retries += retried.load();
+  stage.failed_attempts += failed.load();
+  stage.injected_faults += injected.load();
+  stage.speculative_launches += speculative.load();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace gpf::engine

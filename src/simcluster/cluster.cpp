@@ -1,9 +1,12 @@
 #include "simcluster/cluster.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace gpf::sim {
 namespace {
@@ -165,6 +168,136 @@ double SimResult::net_fraction() const {
 
 SimResult simulate(const SimJob& job, const ClusterConfig& cluster) {
   return simulate_impl(job, cluster, /*with_disk=*/true, /*with_net=*/true);
+}
+
+NodeEvent NodeEvent::failure(std::size_t node, double time) {
+  NodeEvent e;
+  e.kind = Kind::kNodeFailure;
+  e.node = node;
+  e.time = time;
+  return e;
+}
+
+NodeEvent NodeEvent::slowdown(std::size_t node, double time,
+                              double speed_factor) {
+  NodeEvent e;
+  e.kind = Kind::kNodeSlowdown;
+  e.node = node;
+  e.time = time;
+  e.speed_factor = speed_factor;
+  return e;
+}
+
+SimResult simulate_with_faults(const SimJob& job, const ClusterConfig& cluster,
+                               const FaultScenario& scenario) {
+  if (cluster.total_cores() == 0) {
+    throw std::invalid_argument("cluster has zero cores");
+  }
+  const double kNever = std::numeric_limits<double>::infinity();
+  std::vector<double> fail_at(cluster.nodes, kNever);
+  std::vector<std::vector<std::pair<double, double>>> slowdowns(cluster.nodes);
+  for (const auto& e : scenario.events) {
+    if (e.node >= cluster.nodes) {
+      throw std::invalid_argument("node event beyond cluster size");
+    }
+    if (e.kind == NodeEvent::Kind::kNodeFailure) {
+      fail_at[e.node] = std::min(fail_at[e.node], e.time);
+    } else {
+      if (e.speed_factor <= 0.0) {
+        throw std::invalid_argument("slowdown factor must be positive");
+      }
+      slowdowns[e.node].emplace_back(e.time, e.speed_factor);
+    }
+  }
+  // Speed of a node's cores for a task starting at time `t` (slowdowns
+  // compound; a task keeps its start-time speed for its whole duration,
+  // which keeps the replay a pure function of the scenario).
+  auto speed_at = [&](std::size_t node, double t) {
+    double f = 1.0;
+    for (const auto& [time, factor] : slowdowns[node]) {
+      if (time <= t) f *= factor;
+    }
+    return f;
+  };
+
+  SimResult result;
+  double clock = 0.0;
+  for (const auto& stage : job.stages) {
+    std::vector<TaskCost> costs;
+    costs.reserve(stage.tasks.size());
+    for (const auto& t : stage.tasks) costs.push_back(task_cost(t, cluster));
+
+    SimStageResult sr;
+    sr.name = stage.name;
+    sr.phase = stage.phase;
+    sr.start = clock;
+    sr.task_count = stage.tasks.size();
+    for (const auto& c : costs) {
+      sr.compute_seconds += c.compute;
+      sr.disk_seconds += c.disk;
+      sr.net_seconds += c.net;
+    }
+
+    // LPT order, as the fault-free scheduler uses.
+    std::vector<std::size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return costs[a].total(true, true) >
+                              costs[b].total(true, true);
+                     });
+    std::deque<std::size_t> pending(order.begin(), order.end());
+
+    // Min-heap of (free time, node) core slots on nodes alive at the
+    // stage barrier; slots on nodes that die mid-stage are retired as
+    // they surface.
+    std::priority_queue<std::pair<double, std::size_t>,
+                        std::vector<std::pair<double, std::size_t>>,
+                        std::greater<>>
+        free_at;
+    for (std::size_t node = 0; node < cluster.nodes; ++node) {
+      if (fail_at[node] <= clock) continue;
+      for (std::size_t c = 0; c < cluster.cores_per_node; ++c) {
+        free_at.emplace(clock, node);
+      }
+    }
+
+    double end = clock;
+    while (!pending.empty()) {
+      if (free_at.empty()) {
+        throw std::runtime_error(
+            "simulate_with_faults: every node failed with tasks remaining");
+      }
+      const auto [t0, node] = free_at.top();
+      free_at.pop();
+      if (fail_at[node] <= t0) continue;  // node died while the core idled
+      const std::size_t idx = pending.front();
+      pending.pop_front();
+      const double dur = costs[idx].total(true, true) / speed_at(node, t0);
+      const double t1 = t0 + dur;
+      if (fail_at[node] < t1) {
+        // Node dies mid-task: the attempt's work is lost; the task
+        // restarts from its lineage on whichever core frees next.
+        ++result.tasks_restarted;
+        pending.push_back(idx);
+        continue;  // the slot dies with the node
+      }
+      free_at.emplace(t1, node);
+      end = std::max(end, t1);
+    }
+    sr.duration = end - clock;
+    clock = end;
+
+    result.total_compute_seconds += sr.compute_seconds;
+    result.total_disk_seconds += sr.disk_seconds;
+    result.total_net_seconds += sr.net_seconds;
+    result.stages.push_back(std::move(sr));
+  }
+  result.makespan = clock;
+  for (std::size_t node = 0; node < cluster.nodes; ++node) {
+    if (fail_at[node] <= result.makespan) ++result.nodes_lost;
+  }
+  return result;
 }
 
 BlockedTimeResult blocked_time_analysis(const SimJob& job,

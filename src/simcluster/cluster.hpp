@@ -106,6 +106,10 @@ struct SimResult {
   double total_disk_seconds = 0.0;
   double total_net_seconds = 0.0;
   std::vector<SimStageResult> stages;
+  /// Chaos replays only: tasks that were in flight on a failing node and
+  /// had to be re-executed elsewhere, and nodes lost during the run.
+  std::size_t tasks_restarted = 0;
+  std::size_t nodes_lost = 0;
 
   /// Core-hours consumed (cores reserved for the whole makespan, the
   /// accounting the paper's Table 4 uses).
@@ -120,6 +124,43 @@ struct SimResult {
 
 /// Simulates `job` on `cluster`.
 SimResult simulate(const SimJob& job, const ClusterConfig& cluster);
+
+/// A chaos event on the virtual cluster, answering the paper's resilience
+/// question ("what does losing a node at t=30s do to the 2048-core
+/// makespan?") on a recorded trace.
+struct NodeEvent {
+  enum class Kind {
+    /// The node disappears at `time`: its in-flight tasks are lost and
+    /// re-executed on surviving nodes (Spark's lineage recompute), and its
+    /// cores leave the pool for the rest of the run.
+    kNodeFailure,
+    /// The node's cores run at `speed_factor` × their former speed from
+    /// `time` on (a degraded straggler node).
+    kNodeSlowdown,
+  };
+  Kind kind = Kind::kNodeFailure;
+  double time = 0.0;
+  std::size_t node = 0;
+  double speed_factor = 1.0;  // kNodeSlowdown only; < 1 means slower
+
+  static NodeEvent failure(std::size_t node, double time);
+  static NodeEvent slowdown(std::size_t node, double time,
+                            double speed_factor);
+};
+
+/// An ordered chaos schedule applied to a replay.
+struct FaultScenario {
+  std::vector<NodeEvent> events;
+};
+
+/// Replays `job` while injecting `scenario`'s node events.  Deterministic:
+/// same trace + scenario => identical result.  A task caught on a failing
+/// node restarts from scratch on the next free core (counted in
+/// tasks_restarted); a slowdown stretches every task that starts on the
+/// node after the event.  Throws std::runtime_error if every node has
+/// failed while tasks remain.
+SimResult simulate_with_faults(const SimJob& job, const ClusterConfig& cluster,
+                               const FaultScenario& scenario);
 
 /// Blocked-time analysis: improvement in job completion time when all
 /// disk (resp. network) time is removed, as a fraction in [0, 1).  This is

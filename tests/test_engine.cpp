@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 #include "common/rng.hpp"
@@ -196,7 +197,11 @@ TEST(Engine, FlakyTaskSucceedsViaRetry) {
         return part;
       });
   EXPECT_EQ(out.count(), 8u);
-  EXPECT_EQ(engine.metrics().stages().back().task_retries, 2u);
+  const auto& stage = engine.metrics().stages().back();
+  EXPECT_EQ(stage.task_retries, 2u);
+  EXPECT_EQ(stage.failed_attempts, 2u);
+  EXPECT_EQ(stage.injected_faults, 0u);  // plain throws, no injector involved
+  EXPECT_FALSE(stage.failed);
 }
 
 TEST(Engine, RetriesExhaustedPropagatesError) {
@@ -241,6 +246,120 @@ TEST(Engine, RetryRecomputesFromImmutableInput) {
   const auto collected = out.collect();
   ASSERT_EQ(collected.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(collected[i], 2 * i);
+}
+
+TEST(Engine, ExhaustionThrowsStageFailureWithContext) {
+  // Exhaustion surfaces the typed StageFailure even without an injector.
+  Engine engine({.worker_threads = 2, .max_task_retries = 1});
+  auto ds = engine.parallelize(iota_vec(4), 2);
+  try {
+    ds.map_partitions<int>(
+        "doomed", [](const std::vector<int>&) -> std::vector<int> {
+          throw std::runtime_error("permanent failure");
+        });
+    FAIL() << "expected StageFailure";
+  } catch (const StageFailure& e) {
+    EXPECT_EQ(e.stage(), "doomed");
+    EXPECT_EQ(e.attempts(), 2);
+    EXPECT_NE(std::string(e.what()).find("permanent failure"),
+              std::string::npos);
+  }
+}
+
+TEST(Engine, EmptyPartitionsFlowThroughGroupBy) {
+  Engine engine({.worker_threads = 2});
+  auto empty = engine.parallelize(std::vector<int>{}, 4);
+  EXPECT_EQ(empty.count(), 0u);
+  auto grouped =
+      empty.group_by("empty_groups", 3, [](const int& x) { return x % 3; });
+  EXPECT_EQ(grouped.partition_count(), 3u);
+  EXPECT_EQ(grouped.count(), 0u);
+}
+
+TEST(Engine, EmptyPartitionsFlowThroughJoin) {
+  Engine engine({.worker_threads = 2});
+  auto left = engine.parallelize(iota_vec(10), 4);
+  auto right = engine.parallelize(std::vector<int>{}, 4);
+  auto joined = left.join<int>(
+      "empty_join", right, 3, [](const int& x) { return x; },
+      [](const int& y) { return y; });
+  EXPECT_EQ(joined.partition_count(), 3u);
+  EXPECT_EQ(joined.count(), 0u);
+}
+
+TEST(Engine, JoinMatchesKeysIncludingDuplicates) {
+  Engine engine({.worker_threads = 4});
+  // Left: 0..9 keyed by value % 5.  Right: {0,1,2, 0,1,2} keyed by value.
+  auto left = engine.parallelize(iota_vec(10), 3);
+  auto right = engine.parallelize(std::vector<int>{0, 1, 2, 0, 1, 2}, 2);
+  auto joined = left.join<int>(
+      "modjoin", right, 4, [](const int& x) { return x % 5; },
+      [](const int& y) { return y; });
+  // Left values with key in {0,1,2}: {0,5},{1,6},{2,7}; each pairs with two
+  // duplicate right records -> 12 pairs.
+  auto pairs = joined.collect();
+  EXPECT_EQ(pairs.size(), 12u);
+  std::size_t key_zero = 0;
+  for (const auto& [key, lr] : pairs) {
+    EXPECT_EQ(lr.first % 5, key);
+    EXPECT_EQ(lr.second, key);
+    if (key == 0) ++key_zero;
+  }
+  EXPECT_EQ(key_zero, 4u);  // {0,5} x two right zeros
+}
+
+TEST(Engine, WrongLengthCodecDetectedAsShuffleFailure) {
+  // A codec whose decode silently drops a record must not corrupt results:
+  // the record-count check fails the attempt, and since the bug is
+  // deterministic the stage exhausts its retries with a StageFailure.
+  Engine engine({.worker_threads = 2, .max_task_retries = 1});
+  ShuffleCodec<int> lossy;
+  lossy.encode = [](std::span<const int> xs) {
+    std::vector<std::uint8_t> out(xs.size() * sizeof(int));
+    if (!out.empty()) std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+  };
+  lossy.decode = [](std::span<const std::uint8_t> bytes) {
+    std::vector<int> out(bytes.size() / sizeof(int));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!out.empty()) out.pop_back();  // the bug
+    return out;
+  };
+  auto ds = engine.parallelize(iota_vec(40), 2).with_codec(lossy);
+  try {
+    ds.shuffle("lossy", 2,
+               [](const int& x) { return static_cast<std::uint64_t>(x); });
+    FAIL() << "expected StageFailure";
+  } catch (const StageFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("decoded to"), std::string::npos);
+  }
+}
+
+TEST(Engine, SingleWorkerShuffleOrderIsDeterministic) {
+  // With one worker thread the whole pipeline is sequential; two identical
+  // runs must produce byte-identical partition layouts (reduce tasks gather
+  // map blocks in fixed order, so this also holds multi-threaded).
+  auto run = [] {
+    Engine engine({.worker_threads = 1});
+    return engine.parallelize(iota_vec(123), 7)
+        .shuffle("spread", 4,
+                 [](const int& x) {
+                   return static_cast<std::uint64_t>(x) * 2654435761u;
+                 })
+        .collect();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  Engine multi({.worker_threads = 4});
+  const auto c = multi.parallelize(iota_vec(123), 7)
+                     .shuffle("spread", 4,
+                              [](const int& x) {
+                                return static_cast<std::uint64_t>(x) *
+                                       2654435761u;
+                              })
+                     .collect();
+  EXPECT_EQ(a, c);
 }
 
 
