@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <iterator>
+
 namespace gpf::bench {
 
 WorkloadPreset WorkloadPreset::wgs() {
@@ -66,6 +68,52 @@ simdata::Workload build_workload(const WorkloadPreset& preset) {
 void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s (Li et al., PPoPP'18)\n\n", paper_ref.c_str());
+}
+
+TraceSession::TraceSession(int& argc, char** argv) {
+  const std::string kFlag = "--trace-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int consumed = 0;
+    if (arg.rfind(kFlag + "=", 0) == 0) {
+      path_ = arg.substr(kFlag.size() + 1);
+      consumed = 1;
+    } else if (arg == kFlag && i + 1 < argc) {
+      path_ = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed <= argc; ++j) {
+        argv[j] = argv[j + consumed];
+      }
+      argc -= consumed;
+      break;
+    }
+  }
+  if (!path_.empty()) {
+    trace::TraceRecorder::global().clear();
+    trace::TraceRecorder::global().enable();
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  trace::TraceRecorder::global().disable();
+  std::vector<trace::Span> spans = trace::TraceRecorder::global().drain();
+  spans.insert(spans.end(), std::make_move_iterator(extra_.begin()),
+               std::make_move_iterator(extra_.end()));
+  if (trace::write_chrome_trace_file(path_, spans)) {
+    std::printf("\ntrace written to %s (%zu spans) — open in "
+                "chrome://tracing or https://ui.perfetto.dev\n",
+                path_.c_str(), spans.size());
+  } else {
+    std::fprintf(stderr, "failed to write trace to %s\n", path_.c_str());
+  }
+}
+
+void TraceSession::add_spans(std::vector<trace::Span> spans) {
+  extra_.insert(extra_.end(), std::make_move_iterator(spans.begin()),
+                std::make_move_iterator(spans.end()));
 }
 
 double platinum_scale(const simdata::Workload& workload) {

@@ -6,8 +6,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/wgs_pipeline.hpp"
 #include "simdata/read_sim.hpp"
 
@@ -45,5 +47,31 @@ void banner(const std::string& title, const std::string& paper_ref);
 /// platinum-genome dataset (146.9 Gbases), used when replaying traces so
 /// reported wall-clock times land in the paper's regime.
 double platinum_scale(const simdata::Workload& workload);
+
+/// Opt-in tracing for bench binaries.  Construct with (argc, argv): a
+/// `--trace-out=PATH` or `--trace-out PATH` argument is consumed (removed
+/// from argv so benches that parse positionals are unaffected) and enables
+/// the global TraceRecorder.  On destruction the recorder is drained and a
+/// Chrome trace_event JSON file is written to PATH; without the flag the
+/// session is inert and tracing stays disabled.
+class TraceSession {
+ public:
+  TraceSession(int& argc, char** argv);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends externally-built spans (e.g. a simcluster replay timeline)
+  /// to the exported file alongside the recorded engine spans.
+  void add_spans(std::vector<trace::Span> spans);
+
+ private:
+  std::string path_;
+  std::vector<trace::Span> extra_;
+};
 
 }  // namespace gpf::bench

@@ -59,7 +59,8 @@ WorkloadTrace run_workload(const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace(argc, argv);
   bench::banner("Fig 12 — blocked-time analysis (JCT improvement without "
                 "disk / network)",
                 "Fig 12 (Sec 5.3.1)");
@@ -88,5 +89,10 @@ int main() {
 
   std::printf("\npaper: max improvement w/o disk 2.7%%, w/o network "
               "1.38%% — jobs are CPU-bound.\n");
+  if (trace.active()) {
+    // Export the WGS replay's virtual timeline next to the measured
+    // engine spans (pid 1 vs pid 0 in the same file).
+    trace.add_spans(sim::simulate_to_spans(traces[0].whole, cluster));
+  }
   return 0;
 }

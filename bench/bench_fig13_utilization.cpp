@@ -11,7 +11,8 @@
 
 using namespace gpf;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace(argc, argv);
   bench::banner("Fig 13 — cluster resource utilization over a WGS run",
                 "Fig 13 (Sec 5.3.2)");
   auto workload = bench::build_workload(bench::WorkloadPreset::wgs());
@@ -74,5 +75,10 @@ int main() {
               format_bytes(job.total_net_bytes()).c_str());
   std::printf("paper's shape: I/O burst at load, CPU-bound Aligner and "
               "Caller, scattered shuffle writes in Cleaner.\n");
+  if (trace.active()) {
+    // Export the 2048-core replay timeline (pid 1) next to the measured
+    // engine spans (pid 0) captured while the pipeline ran above.
+    trace.add_spans(sim::simulate_to_spans(job, cluster));
+  }
   return 0;
 }

@@ -7,11 +7,19 @@
 //   gpf_tool align <ref.fa> <r1.fastq> <r2.fastq> <out.gbam|out.sam>
 //   gpf_tool call <ref.fa> <in.gbam|in.sam> <out.vcf> [--gvcf]
 //   gpf_tool pipeline <ref.fa> <r1.fastq> <r2.fastq> <known.vcf> <out.vcf>
+//   gpf_tool trace <ref.fa> <r1.fastq> <r2.fastq> <known.vcf> <out.json>
+//       [sim_cores=2048]
+//       runs the pipeline with tracing on and writes a Chrome trace_event
+//       JSON combining the measured engine timeline (pid 0) with a
+//       simulated-cluster replay of the run (pid 1); open the file in
+//       chrome://tracing or https://ui.perfetto.dev
 //   gpf_tool view <in.gbam>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "align/bwamem.hpp"
 #include "align/fm_index.hpp"
@@ -19,9 +27,12 @@
 #include "caller/haplotype_caller.hpp"
 #include "cleaner/markdup.hpp"
 #include "cleaner/sorter.hpp"
+#include "common/trace.hpp"
 #include "compress/gbam.hpp"
 #include "core/file_io.hpp"
 #include "core/wgs_pipeline.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/trace.hpp"
 #include "simdata/read_sim.hpp"
 
 using namespace gpf;
@@ -180,6 +191,53 @@ int cmd_pipeline(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: gpf_tool trace <ref.fa> <r1> <r2> <known.vcf> "
+                 "<out_trace.json> [sim_cores=2048]\n");
+    return 2;
+  }
+  const std::size_t sim_cores =
+      argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 2048;
+  const Reference reference = core::load_fasta_file(argv[0]);
+  auto pairs = core::load_fastq_pair_files(argv[1], argv[2]);
+  auto known = core::load_vcf_file(argv[3]);
+  engine::Engine engine;
+  core::PipelineConfig config;
+  config.partition_length =
+      std::max<std::int64_t>(10'000, static_cast<std::int64_t>(
+                                         reference.total_length() / 16));
+
+  auto& recorder = trace::TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  const auto result = core::run_wgs_pipeline(
+      engine, reference, std::move(pairs), std::move(known.records), config);
+  recorder.disable();
+  std::vector<trace::Span> spans = recorder.drain();
+
+  // Replay the measured trace on a virtual cluster; its virtual-time
+  // timeline rides alongside the measured one as pid 1.
+  const sim::SimJob job = sim::trace_job(engine.metrics(), {});
+  const auto cluster = sim::ClusterConfig::with_cores(sim_cores);
+  auto sim_spans = sim::simulate_to_spans(job, cluster);
+  spans.insert(spans.end(), std::make_move_iterator(sim_spans.begin()),
+               std::make_move_iterator(sim_spans.end()));
+
+  if (!trace::write_chrome_trace_file(argv[4], spans)) {
+    std::fprintf(stderr, "failed to write %s\n", argv[4]);
+    return 1;
+  }
+  std::printf("pipeline done: %zu variants, %zu engine stages\n",
+              result.variants.size(), engine.metrics().stage_count());
+  std::printf("trace written to %s (%zu spans: measured run = pid 0, "
+              "%zu-core replay = pid 1) — open in chrome://tracing or "
+              "https://ui.perfetto.dev\n",
+              argv[4], spans.size(), cluster.total_cores());
+  return 0;
+}
+
 int cmd_view(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr, "usage: gpf_tool view <in.gbam>\n");
@@ -196,7 +254,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "gpf_tool — GPF genomic toolkit\n"
-                 "commands: simulate align call pipeline view\n");
+                 "commands: simulate align call pipeline trace view\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -206,6 +264,7 @@ int main(int argc, char** argv) {
   if (cmd == "align") return cmd_align(argc, argv);
   if (cmd == "call") return cmd_call(argc, argv);
   if (cmd == "pipeline") return cmd_pipeline(argc, argv);
+  if (cmd == "trace") return cmd_trace(argc, argv);
   if (cmd == "view") return cmd_view(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;

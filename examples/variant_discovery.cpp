@@ -2,13 +2,24 @@
 // sample, runs the full GPF WGS pipeline, and scores the calls
 // (recall/precision for SNPs and indels), then writes the result VCF.
 //
-//   ./variant_discovery [genome_kb=200] [coverage=20]
+//   ./variant_discovery [genome_kb=200] [coverage=20] [--trace-out=PATH]
+//
+// With --trace-out the run records engine spans (stages, task attempts,
+// shuffle ser/deser, DAG nodes) and writes a Chrome trace_event JSON that
+// also carries a 2048-core simulated replay of the same run — open it in
+// chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string>
 
+#include "common/trace.hpp"
 #include "core/wgs_pipeline.hpp"
 #include "formats/vcf.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/trace.hpp"
 #include "simdata/read_sim.hpp"
 
 using namespace gpf;
@@ -40,6 +51,24 @@ bool matches(const VcfRecord& a, const VcfRecord& b, std::int64_t slack) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --trace-out before reading the positionals.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int consumed = 0;
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-out="));
+      consumed = 1;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      break;
+    }
+  }
   const std::int64_t genome_kb = argc > 1 ? std::atoll(argv[1]) : 200;
   const double coverage = argc > 2 ? std::atof(argv[2]) : 20.0;
 
@@ -65,12 +94,36 @@ int main(int argc, char** argv) {
     known.push_back(w.truth[i]);
   }
 
+  auto& recorder = trace::TraceRecorder::global();
+  if (!trace_path.empty()) {
+    recorder.clear();
+    recorder.enable();
+  }
   engine::Engine engine;
   core::PipelineConfig config;
   config.partition_length = 25'000;
   const core::WgsResult result =
       core::run_wgs_pipeline(engine, w.reference, w.sample.pairs, known,
                              config);
+  if (!trace_path.empty()) {
+    recorder.disable();
+    std::vector<trace::Span> spans = recorder.drain();
+    // Replay the measured stage trace on the paper's 2048-core cluster so
+    // the virtual timeline (pid 1) sits next to the measured one (pid 0).
+    const sim::SimJob job = sim::trace_job(engine.metrics(), {});
+    auto sim_spans =
+        sim::simulate_to_spans(job, sim::ClusterConfig::with_cores(2048));
+    spans.insert(spans.end(), std::make_move_iterator(sim_spans.begin()),
+                 std::make_move_iterator(sim_spans.end()));
+    if (trace::write_chrome_trace_file(trace_path, spans)) {
+      std::printf("trace written to %s (%zu spans) — open in "
+                  "chrome://tracing or https://ui.perfetto.dev\n",
+                  trace_path.c_str(), spans.size());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
 
   std::printf("pipeline: %zu variants called, %zu duplicates marked "
               "(%.1f%% of records), %u final partitions\n",

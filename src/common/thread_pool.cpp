@@ -24,7 +24,13 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool*& ThreadPool::current_pool() {
+  static thread_local ThreadPool* pool = nullptr;
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
+  current_pool() = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,6 +47,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested parallelism: every worker may already be blocked in an outer
+    // parallel_for's f.get(), so chunks submitted here could never be
+    // scheduled.  Running inline keeps the caller's worker productive and
+    // cannot deadlock.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t blocks = std::min(n, size() * 4);
   const std::size_t chunk = (n + blocks - 1) / blocks;
   std::vector<std::future<void>> futs;

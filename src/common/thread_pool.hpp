@@ -54,13 +54,23 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
   /// iterations complete.  Iterations are distributed in contiguous blocks.
+  /// Safe to call from inside a task running on this pool: a nested call
+  /// executes its iterations inline on the calling worker, because queued
+  /// chunks could otherwise wait forever behind workers that are all
+  /// blocked in outer parallel_for calls.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const { return current_pool() == this; }
 
   /// Global pool shared by code that does not need a private one.
   static ThreadPool& global();
 
  private:
   void worker_loop();
+
+  /// The pool whose worker_loop the calling thread is running, if any.
+  static ThreadPool*& current_pool();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,194 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+namespace gpf::trace {
+namespace {
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+/// One "M"-phase metadata event naming a trace process.
+void append_process_name(std::string& out, std::uint32_t pid,
+                         const char* name) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                "\"tid\":0,\"args\":{\"name\":",
+                pid);
+  out += buf;
+  append_json_string(out, name);
+  out += "}},\n";
+}
+
+}  // namespace
+
+const char* span_category(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kStage:
+      return "stage";
+    case SpanKind::kTask:
+      return "task";
+    case SpanKind::kShuffleSer:
+      return "shuffle_ser";
+    case SpanKind::kShuffleDeser:
+      return "shuffle_deser";
+    case SpanKind::kProcess:
+      return "process";
+    case SpanKind::kSimStage:
+      return "sim_stage";
+    case SpanKind::kSimTask:
+      return "sim_task";
+  }
+  return "unknown";
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock(mu_);
+    b->track = next_track_++;
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceRecorder::record(Span span) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  span.track = buffer.track;
+  std::lock_guard lock(buffer.mu);
+  buffer.spans.push_back(std::move(span));
+}
+
+std::vector<Span> TraceRecorder::drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<Span> out;
+  for (const auto& b : buffers) {
+    std::lock_guard lock(b->mu);
+    out.insert(out.end(), std::make_move_iterator(b->spans.begin()),
+               std::make_move_iterator(b->spans.end()));
+    b->spans.clear();
+  }
+  return out;
+}
+
+void TraceRecorder::clear() { drain(); }
+
+std::string write_chrome_trace(std::span<const Span> spans) {
+  // Stable-sort into per-track timelines so ts is monotonic per track.
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Span* a, const Span* b) {
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     if (a->track != b->track) return a->track < b->track;
+                     return a->start_us < b->start_us;
+                   });
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool has_local = false;
+  bool has_sim = false;
+  for (const Span* s : ordered) {
+    has_local |= s->pid == 0;
+    has_sim |= s->pid == 1;
+  }
+  if (has_local) append_process_name(out, 0, "gpf engine (measured)");
+  if (has_sim) append_process_name(out, 1, "simcluster replay (virtual time)");
+
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const Span& s = *ordered[i];
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"cat\":\"";
+    out += span_category(s.kind);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_number(out, s.start_us);
+    out += ",\"dur\":";
+    append_number(out, s.dur_us < 0.0 ? 0.0 : s.dur_us);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"pid\":%u,\"tid\":%u", s.pid, s.track);
+    out += buf;
+    out += ",\"args\":{";
+    if (s.task >= 0) {
+      std::snprintf(buf, sizeof buf, "\"task\":%lld,\"attempt\":%d,",
+                    static_cast<long long>(s.task), s.attempt);
+      out += buf;
+      out += "\"retry\":";
+      out += s.retry ? "true," : "false,";
+      out += "\"speculative\":";
+      out += s.speculative ? "true," : "false,";
+    }
+    out += "\"failed\":";
+    out += s.failed ? "true" : "false";
+    out += "}}";
+    if (i + 1 < ordered.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const Span> spans) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = write_chrome_trace(spans);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gpf::trace

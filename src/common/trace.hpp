@@ -1,0 +1,180 @@
+// Structured execution tracing: typed spans recorded into thread-local
+// buffers and exported as Chrome trace_event JSON (chrome://tracing /
+// Perfetto).
+//
+// The recorder is the observability counterpart of EngineMetrics: metrics
+// aggregate per-stage totals, spans keep *when* every task attempt ran, on
+// which worker, and whether it was a retry or a speculative copy — the
+// raw material of blocked-time analysis and straggler diagnosis
+// (Ousterhout et al., NSDI'15).  The cluster simulator exports its
+// virtual-time task timeline through the same Span model, so a measured
+// local run (pid 0) and its simulated 2048-core replay (pid 1) open side
+// by side in one Perfetto view.
+//
+// Cost model: tracing must be free when disabled — every entry point is a
+// relaxed atomic load and a branch.  When enabled, record() appends to a
+// per-thread buffer guarded by an uncontended per-thread mutex (taken only
+// by the owning thread until drain() merges), so hot task loops never
+// share a lock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpf::trace {
+
+/// What a span measures.  Exported as the Chrome event's category, so
+/// Perfetto can filter one layer at a time.
+enum class SpanKind : std::uint8_t {
+  kStage,         // one engine stage (all tasks, wall time)
+  kTask,          // one task attempt on a worker thread
+  kShuffleSer,    // shuffle-block serialization inside a map task
+  kShuffleDeser,  // shuffle-block deserialization inside a reduce task
+  kProcess,       // one Process-level DAG node (core/pipeline)
+  kSimStage,      // a stage on the simulated cluster (virtual time)
+  kSimTask,       // a task on the simulated cluster (virtual time)
+};
+
+/// Category string for a kind ("stage", "task", ...).
+const char* span_category(SpanKind kind);
+
+/// One timed interval.  Timestamps are microseconds — real time since the
+/// recorder's epoch for engine spans, virtual cluster time for sim spans.
+struct Span {
+  std::string name;
+  SpanKind kind = SpanKind::kTask;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  /// Trace process: 0 = the measured local run, 1 = the simulated
+  /// cluster replay.
+  std::uint32_t pid = 0;
+  /// Track within the process (worker thread, or virtual core slot for
+  /// sim spans; the recorder stamps engine spans automatically).
+  std::uint32_t track = 0;
+  /// Task attempt context (task < 0 for non-task spans).  Speculative
+  /// copies run as attempt -1, matching the executor's convention.
+  std::int64_t task = -1;
+  std::int32_t attempt = 0;
+  bool retry = false;
+  bool speculative = false;
+  /// True when the span ended by exception (a failed task attempt).
+  bool failed = false;
+};
+
+/// Global span sink.  enable()/disable() gate every recording site; spans
+/// accumulate in per-thread buffers until drain() merges them.
+class TraceRecorder {
+ public:
+  /// The process-wide recorder (intentionally leaked so worker threads may
+  /// record during static destruction).
+  static TraceRecorder& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder's construction (the trace epoch).
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Files a span under the calling thread's track.  No-op when disabled.
+  void record(Span span);
+
+  /// Moves out every recorded span (ordered by track, then recording
+  /// order) and clears the buffers.
+  std::vector<Span> drain();
+
+  /// Discards everything recorded so far.
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::uint32_t track = 0;
+    std::vector<Span> spans;
+  };
+
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;  // guards the buffer registry
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_track_ = 0;
+};
+
+/// RAII span: captures the start time at construction and records at
+/// destruction.  The enabled check happens once, up front, so a disabled
+/// recorder costs one branch and nothing else.  Marks the span failed when
+/// it unwinds through an exception.
+class ScopedSpan {
+ public:
+  ScopedSpan(const std::string& name, SpanKind kind, std::int64_t task = -1,
+             std::int32_t attempt = 0, bool retry = false,
+             bool speculative = false) {
+    TraceRecorder& r = TraceRecorder::global();
+    if (!r.enabled()) return;
+    recorder_ = &r;
+    name_ = &name;
+    kind_ = kind;
+    task_ = task;
+    attempt_ = attempt;
+    retry_ = retry;
+    speculative_ = speculative;
+    exceptions_at_entry_ = std::uncaught_exceptions();
+    start_us_ = r.now_us();
+  }
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    Span s;
+    s.name = *name_;
+    s.kind = kind_;
+    s.start_us = start_us_;
+    s.dur_us = recorder_->now_us() - start_us_;
+    s.task = task_;
+    s.attempt = attempt_;
+    s.retry = retry_;
+    s.speculative = speculative_;
+    s.failed = std::uncaught_exceptions() > exceptions_at_entry_;
+    recorder_->record(std::move(s));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const std::string* name_ = nullptr;
+  SpanKind kind_ = SpanKind::kTask;
+  double start_us_ = 0.0;
+  std::int64_t task_ = -1;
+  std::int32_t attempt_ = 0;
+  int exceptions_at_entry_ = 0;
+  bool retry_ = false;
+  bool speculative_ = false;
+};
+
+/// Renders spans as a Chrome trace_event JSON document ("X" complete
+/// events plus process_name metadata), loadable by chrome://tracing and
+/// Perfetto.  Events are sorted by (pid, track, start) so timestamps are
+/// monotonic within every track.
+std::string write_chrome_trace(std::span<const Span> spans);
+
+/// Writes write_chrome_trace(spans) to `path`; returns false on I/O error.
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const Span> spans);
+
+}  // namespace gpf::trace

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace gpf::core {
 
@@ -34,7 +35,12 @@ std::vector<SamHeader::ContigInfo> PipelineContext::contig_infos() const {
 void Process::execute(PipelineContext& ctx) {
   mark_state(ProcessState::kRunning);
   Timer t;
-  run(ctx);
+  {
+    // DAG-node span: groups this Process's stage/task spans on the driver
+    // track of the trace timeline.
+    trace::ScopedSpan span(name_, trace::SpanKind::kProcess);
+    run(ctx);
+  }
   wall_seconds_ = t.seconds();
   // Every declared output must now be defined — catching Processes that
   // forget to fill a Resource early.

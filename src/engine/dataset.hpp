@@ -35,6 +35,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "engine/fault_injector.hpp"
 #include "engine/metrics.hpp"
 #include "engine/stage_executor.hpp"
@@ -270,6 +271,11 @@ class Dataset {
         injector ? injector->begin_stage(stage_name) : 0;
     const StageExecPolicy policy = engine_->exec_policy();
 
+    // Shared names for the per-block (de)serialization spans, so the
+    // per-task recording sites only copy, never concatenate.
+    const std::string ser_name = stage_name + ".ser";
+    const std::string deser_name = stage_name + ".deser";
+
     /// Integrity metadata recorded per block on the map side.
     struct BlockMeta {
       std::uint64_t checksum = 0;
@@ -297,6 +303,9 @@ class Dataset {
             }
             if (use_codec) {
               Timer ser;
+              trace::ScopedSpan ser_span(ser_name,
+                                         trace::SpanKind::kShuffleSer,
+                                         static_cast<std::int64_t>(i));
               out.encoded.resize(num_out);
               out.meta.resize(num_out);
               for (std::size_t b = 0; b < num_out; ++b) {
@@ -334,6 +343,9 @@ class Dataset {
             ReduceOut out;
             if (use_codec) {
               Timer ser;
+              trace::ScopedSpan deser_span(
+                  deser_name, trace::SpanKind::kShuffleDeser,
+                  static_cast<std::int64_t>(n_in + b));
               for (std::size_t i = 0; i < n_in; ++i) {
                 const auto& encoded = map_outs[i].encoded[b];
                 const BlockMeta& meta = map_outs[i].meta[b];
@@ -600,6 +612,16 @@ class Dataset {
                     bool failed) const {
     stage.wall_seconds = wall.seconds();
     stage.failed = failed;
+    trace::TraceRecorder& recorder = trace::TraceRecorder::global();
+    if (recorder.enabled()) {
+      trace::Span span;
+      span.name = stage.name;
+      span.kind = trace::SpanKind::kStage;
+      span.dur_us = stage.wall_seconds * 1e6;
+      span.start_us = recorder.now_us() - span.dur_us;
+      span.failed = stage.failed;
+      recorder.record(std::move(span));
+    }
     engine_->metrics().add_stage(std::move(stage));
   }
 

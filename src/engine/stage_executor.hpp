@@ -42,6 +42,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "engine/fault_injector.hpp"
 #include "engine/metrics.hpp"
 
@@ -130,6 +131,14 @@ std::vector<U> execute_stage(ThreadPool& pool, const StageExecPolicy& policy,
       if (abort.load() || claimed[i].load()) return;
       Timer t;
       try {
+        // The span covers the whole attempt — injected straggler delay,
+        // injector verdict and the task body — so stragglers, failed
+        // attempts and retries are all visible on the timeline; unwinding
+        // through it marks the span failed.
+        trace::ScopedSpan span(name, trace::SpanKind::kTask,
+                               static_cast<std::int64_t>(task_offset + i),
+                               attempt, /*retry=*/attempt > 0,
+                               /*speculative=*/false);
         if (injector) {
           const double delay = injector->planned_delay_ms(
               name, ordinal, task_offset + i, attempt);
@@ -182,6 +191,10 @@ std::vector<U> execute_stage(ThreadPool& pool, const StageExecPolicy& policy,
     if (abort.load() || claimed[i].load()) return;
     Timer t;
     try {
+      trace::ScopedSpan span(name, trace::SpanKind::kTask,
+                             static_cast<std::int64_t>(task_offset + i),
+                             /*attempt=*/-1, /*retry=*/false,
+                             /*speculative=*/true);
       U r = fn(i, -1);
       finish_win(i, std::move(r), t.seconds());
     } catch (...) {

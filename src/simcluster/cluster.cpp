@@ -41,7 +41,7 @@ TaskCost task_cost(const SimTask& task, const ClusterConfig& cluster) {
 
 /// Schedules one stage's tasks LPT onto `cores` slots starting at time
 /// `start`; returns the stage end time and optionally records per-task
-/// intervals via `on_task(start, cost)`.
+/// intervals via `on_task(idx, start, duration, slot)`.
 template <typename OnTask>
 double schedule_stage(const std::vector<TaskCost>& costs, std::size_t cores,
                       double start, bool with_disk, bool with_net,
@@ -55,17 +55,21 @@ double schedule_stage(const std::vector<TaskCost>& costs, std::size_t cores,
                      return costs[a].total(with_disk, with_net) >
                             costs[b].total(with_disk, with_net);
                    });
-  // Min-heap of core free times.
-  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  // Min-heap of (free time, slot id); slot ids keep ties deterministic
+  // and give timeline exports a stable per-core track.
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>,
+                      std::greater<>>
+      free_at;
   const std::size_t slots = std::min(cores, costs.size());
-  for (std::size_t i = 0; i < slots; ++i) free_at.push(start);
+  for (std::size_t i = 0; i < slots; ++i) free_at.emplace(start, i);
   double end = start;
   for (const std::size_t idx : order) {
-    const double t0 = free_at.top();
+    const auto [t0, slot] = free_at.top();
     free_at.pop();
     const double dur = costs[idx].total(with_disk, with_net);
-    on_task(idx, t0, dur);
-    free_at.push(t0 + dur);
+    on_task(idx, t0, dur, slot);
+    free_at.emplace(t0 + dur, slot);
     end = std::max(end, t0 + dur);
   }
   return end;
@@ -93,9 +97,9 @@ SimResult simulate_impl(const SimJob& job, const ClusterConfig& cluster,
       sr.disk_seconds += with_disk ? c.disk : 0.0;
       sr.net_seconds += with_net ? c.net : 0.0;
     }
-    const double end =
-        schedule_stage(costs, cluster.total_cores(), clock, with_disk,
-                       with_net, [](std::size_t, double, double) {});
+    const double end = schedule_stage(
+        costs, cluster.total_cores(), clock, with_disk, with_net,
+        [](std::size_t, double, double, std::size_t) {});
     sr.duration = end - clock;
     clock = end;
 
@@ -168,6 +172,45 @@ double SimResult::net_fraction() const {
 
 SimResult simulate(const SimJob& job, const ClusterConfig& cluster) {
   return simulate_impl(job, cluster, /*with_disk=*/true, /*with_net=*/true);
+}
+
+std::vector<trace::Span> simulate_to_spans(const SimJob& job,
+                                           const ClusterConfig& cluster,
+                                           std::uint32_t pid) {
+  if (cluster.total_cores() == 0) {
+    throw std::invalid_argument("cluster has zero cores");
+  }
+  std::vector<trace::Span> spans;
+  double clock = 0.0;
+  for (const auto& stage : job.stages) {
+    std::vector<TaskCost> costs;
+    costs.reserve(stage.tasks.size());
+    for (const auto& t : stage.tasks) costs.push_back(task_cost(t, cluster));
+    const double start = clock;
+    clock = schedule_stage(
+        costs, cluster.total_cores(), clock, /*with_disk=*/true,
+        /*with_net=*/true,
+        [&](std::size_t idx, double t0, double dur, std::size_t slot) {
+          trace::Span s;
+          s.name = stage.name;
+          s.kind = trace::SpanKind::kSimTask;
+          s.pid = pid;
+          s.track = static_cast<std::uint32_t>(slot + 1);
+          s.start_us = t0 * 1e6;
+          s.dur_us = dur * 1e6;
+          s.task = static_cast<std::int64_t>(idx);
+          spans.push_back(std::move(s));
+        });
+    trace::Span s;
+    s.name = stage.name;
+    s.kind = trace::SpanKind::kSimStage;
+    s.pid = pid;
+    s.track = 0;  // the virtual driver track, above the core slots
+    s.start_us = start * 1e6;
+    s.dur_us = (clock - start) * 1e6;
+    spans.push_back(std::move(s));
+  }
+  return spans;
 }
 
 NodeEvent NodeEvent::failure(std::size_t node, double time) {
@@ -324,19 +367,27 @@ std::vector<UtilSample> utilization_timeline(const SimJob& job,
     samples[b].time = width * static_cast<double>(b);
   }
 
+  // Buckets are half-open [b*width, (b+1)*width) except the last, whose
+  // right edge is the makespan itself: width*buckets can land a hair below
+  // makespan in floating point, and an event ending exactly at the
+  // makespan must not have its final sliver dropped.
+  auto bucket_of = [&](double t) {
+    return std::min<std::size_t>(buckets - 1,
+                                 static_cast<std::size_t>(t / width));
+  };
+  auto bucket_end = [&](std::size_t b) {
+    return b + 1 == buckets ? makespan : width * static_cast<double>(b + 1);
+  };
   auto deposit = [&](double t0, double t1, double amount,
                      auto member) {
     // Spreads `amount` uniformly over [t0, t1) across buckets.
     if (t1 <= t0) return;
     const double rate = amount / (t1 - t0);
-    std::size_t b0 = std::min<std::size_t>(
-        buckets - 1, static_cast<std::size_t>(t0 / width));
-    std::size_t b1 = std::min<std::size_t>(
-        buckets - 1, static_cast<std::size_t>(t1 / width));
+    const std::size_t b0 = bucket_of(t0);
+    const std::size_t b1 = bucket_of(t1);
     for (std::size_t b = b0; b <= b1; ++b) {
       const double lo = std::max(t0, width * static_cast<double>(b));
-      const double hi =
-          std::min(t1, width * static_cast<double>(b + 1));
+      const double hi = std::min(t1, bucket_end(b));
       if (hi > lo) samples[b].*member += rate * (hi - lo);
     }
   };
@@ -348,13 +399,17 @@ std::vector<UtilSample> utilization_timeline(const SimJob& job,
     for (const auto& t : stage.tasks) costs.push_back(task_cost(t, cluster));
     const double end = schedule_stage(
         costs, cluster.total_cores(), clock, true, true,
-        [&](std::size_t idx, double t0, double) {
+        [&](std::size_t idx, double t0, double, std::size_t) {
           const TaskCost& c = costs[idx];
           // Task phases: compute, then disk, then network.
           deposit(t0, t0 + c.compute, c.compute, &UtilSample::cpu_fraction);
+          // c.disk covers both page-cache shuffle traffic and cold stage
+          // files, so the byte deposit must too — otherwise a cold-disk
+          // dominated job shows a flat-zero disk timeline.
           const double d0 = t0 + c.compute;
           deposit(d0, d0 + c.disk,
-                  static_cast<double>(stage.tasks[idx].disk_bytes),
+                  static_cast<double>(stage.tasks[idx].disk_bytes +
+                                      stage.tasks[idx].cold_disk_bytes),
                   &UtilSample::disk_bytes_per_s);
           const double n0 = d0 + c.disk;
           deposit(n0, n0 + c.net,

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
+
 namespace gpf::sim {
 
 /// Virtual cluster parameters.  Defaults approximate the paper's testbed:
@@ -124,6 +126,16 @@ struct SimResult {
 
 /// Simulates `job` on `cluster`.
 SimResult simulate(const SimJob& job, const ClusterConfig& cluster);
+
+/// Replays `job` and exports the per-task virtual-time timeline through
+/// the shared Span model: one kSimStage span per stage on track 0 and one
+/// kSimTask span per task on track (core slot + 1), timestamps in virtual
+/// microseconds.  Written next to an engine trace (pid 0), the replay
+/// (default pid 1) makes a measured local run and its 2048-core twin
+/// directly comparable in chrome://tracing or Perfetto.
+std::vector<trace::Span> simulate_to_spans(const SimJob& job,
+                                           const ClusterConfig& cluster,
+                                           std::uint32_t pid = 1);
 
 /// A chaos event on the virtual cluster, answering the paper's resilience
 /// question ("what does losing a node at t=30s do to the 2048-core

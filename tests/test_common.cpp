@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/bytes.hpp"
@@ -32,6 +34,38 @@ TEST(ThreadPool, ParallelForEmpty) {
   bool called = false;
   pool.parallel_for(0, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a parallel_for issued from inside a pool worker used to
+  // enqueue its chunks behind the very workers blocked waiting on them.
+  // With one worker the old code deadlocked instantly; the fix runs
+  // nested loops inline on the calling worker.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForMultiWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(16, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 256);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  auto f = pool.submit([&] { return pool.on_worker_thread(); });
+  EXPECT_TRUE(f.get());
 }
 
 TEST(ThreadPool, ManyConcurrentSubmitters) {
@@ -221,6 +255,25 @@ TEST(Format, Durations) {
   EXPECT_EQ(format_duration(0.5), "500ms");
   EXPECT_EQ(format_duration(12.0), "12.00s");
   EXPECT_EQ(format_duration(24 * 60.0), "24m00.0s");
+}
+
+TEST(Format, DurationsRollMinutesIntoHours) {
+  // Regression: 3 hours used to print as "180m00.0s".
+  EXPECT_EQ(format_duration(3 * 3600.0), "3h00m00.0s");
+  EXPECT_EQ(format_duration(3661.5), "1h01m01.5s");
+  EXPECT_EQ(format_duration(26 * 3600.0 + 5 * 60.0 + 9.0), "26h05m09.0s");
+  EXPECT_EQ(format_duration(59 * 60.0 + 59.9), "59m59.9s");
+}
+
+TEST(Format, DurationsHandleNegativeAndNonFinite) {
+  // Regression: negatives misformatted ("-0ms", garbage minute counts)
+  // and NaN printed "nanms".
+  EXPECT_EQ(format_duration(-12.0), "-12.00s");
+  EXPECT_EQ(format_duration(-3 * 3600.0), "-3h00m00.0s");
+  EXPECT_EQ(format_duration(std::nan("")), "nan");
+  EXPECT_EQ(format_duration(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_duration(-std::numeric_limits<double>::infinity()),
+            "-inf");
 }
 
 TEST(Format, Bytes) {

@@ -2,6 +2,8 @@
 // model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine/metrics.hpp"
 #include "simcluster/cluster.hpp"
 #include "simcluster/sharedfs.hpp"
@@ -88,6 +90,84 @@ TEST(ClusterSim, UtilizationTimelineShape) {
     EXPECT_GE(s.cpu_fraction, 0.0);
     EXPECT_LE(s.cpu_fraction, 1.0);
   }
+}
+
+TEST(ClusterSim, UtilizationTimelineExactBoundaryConservation) {
+  // 8 uniform 1s tasks on 4 cores with zero overhead: two full waves, so
+  // every task edge — including the final one — lands exactly on a bucket
+  // boundary and on the makespan.  Regression: the last bucket's right
+  // edge was width*buckets, which can fall a hair short of the makespan
+  // and drop the final sliver of work.
+  SimJob job = uniform_job(1, 8, 1.0);
+  ClusterConfig cluster = ClusterConfig::with_cores(4);
+  cluster.task_overhead = 0.0;
+  const double makespan = simulate(job, cluster).makespan;
+  EXPECT_DOUBLE_EQ(makespan, 2.0);
+
+  const auto samples = utilization_timeline(job, cluster, 4);
+  ASSERT_EQ(samples.size(), 4u);
+  const double width = makespan / 4.0;
+  double core_seconds = 0.0;
+  for (const auto& s : samples) {
+    EXPECT_NEAR(s.cpu_fraction, 1.0, 1e-9);
+    core_seconds += s.cpu_fraction * width * 4.0;
+  }
+  // All 8 task-seconds accounted for, none lost at the boundaries.
+  EXPECT_NEAR(core_seconds, 8.0, 1e-9);
+}
+
+TEST(ClusterSim, UtilizationTimelineSingleBucket) {
+  SimJob job = uniform_job(2, 16, 0.5);
+  ClusterConfig cluster = ClusterConfig::with_cores(8);
+  cluster.task_overhead = 0.0;
+  const auto samples = utilization_timeline(job, cluster, 1);
+  ASSERT_EQ(samples.size(), 1u);
+  const double makespan = simulate(job, cluster).makespan;
+  // 16 task-seconds over makespan * 8 cores.
+  EXPECT_NEAR(samples[0].cpu_fraction, 16.0 / (makespan * 8.0), 1e-9);
+}
+
+TEST(ClusterSim, UtilizationTimelineCountsColdDiskBytes) {
+  // Regression: cold stage-file bytes contributed disk *time* but not
+  // disk *bytes*, so a cold-disk-only job showed a flat-zero disk
+  // timeline.
+  SimJob job = uniform_job(1, 64, 0.1);
+  for (auto& t : job.stages[0].tasks) t.cold_disk_bytes = 10'000'000;
+  const ClusterConfig cluster = ClusterConfig::with_cores(64);
+  const std::size_t buckets = 10;
+  const auto samples = utilization_timeline(job, cluster, buckets);
+  const double makespan = simulate(job, cluster).makespan;
+  const double width = makespan / static_cast<double>(buckets);
+  double deposited = 0.0;
+  for (const auto& s : samples) deposited += s.disk_bytes_per_s * width;
+  // Every cold byte shows up in the timeline, conserved across buckets.
+  EXPECT_NEAR(deposited, 64.0 * 10'000'000.0, 1.0);
+}
+
+TEST(ClusterSim, SimulateToSpansMatchesSchedule) {
+  const SimJob job = uniform_job(2, 16, 1.0);
+  const ClusterConfig cluster = ClusterConfig::with_cores(4);
+  const auto spans = simulate_to_spans(job, cluster);
+  // One span per task plus one per stage.
+  ASSERT_EQ(spans.size(), 2u * 16u + 2u);
+  const auto result = simulate(job, cluster);
+  double last_end_us = 0.0;
+  std::size_t stage_spans = 0;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.pid, 1u);
+    if (s.kind == trace::SpanKind::kSimStage) {
+      ++stage_spans;
+      EXPECT_EQ(s.track, 0u);
+    } else {
+      EXPECT_EQ(s.kind, trace::SpanKind::kSimTask);
+      // Task tracks are core slots offset past the driver track.
+      EXPECT_GE(s.track, 1u);
+      EXPECT_LE(s.track, cluster.total_cores());
+    }
+    last_end_us = std::max(last_end_us, s.start_us + s.dur_us);
+  }
+  EXPECT_EQ(stage_spans, 2u);
+  EXPECT_NEAR(last_end_us, result.makespan * 1e6, 1e-3);
 }
 
 TEST(ClusterSim, ReplicateTasksScalesWork) {
