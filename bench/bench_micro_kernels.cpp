@@ -1,7 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the compute kernels behind the
 // pipeline stages: FM-index search, Smith-Waterman extension, pair-HMM,
 // the genomic codecs, and duplicate marking.
+//
+// Two modes:
+//  * default — the usual google-benchmark CLI (filters, repetitions, ...).
+//  * --json[=path] — the perf-regression harness: times each hot kernel on
+//    its scalar/reference implementation and on the dispatched fast path,
+//    checks the two produce identical output, and writes a machine-readable
+//    report (default BENCH_kernels.json).  Exit code 2 if any kernel's fast
+//    path disagrees with its reference, so CI can use it as a smoke test.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
 
 #include "align/bwamem.hpp"
 #include "align/fm_index.hpp"
@@ -9,7 +22,12 @@
 #include "caller/pairhmm.hpp"
 #include "cleaner/markdup.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/timer.hpp"
+#include "compress/bitio.hpp"
+#include "compress/qual_codec.hpp"
 #include "compress/record_codec.hpp"
+#include "compress/seq_codec.hpp"
 #include "simdata/read_sim.hpp"
 #include "simdata/reference_gen.hpp"
 
@@ -153,4 +171,337 @@ void BM_MarkDuplicates(benchmark::State& state) {
 }
 BENCHMARK(BM_MarkDuplicates);
 
+// --- perf-regression harness (--json mode) ---------------------------------
+
+/// Seconds per call of `fn`, min of three repetitions; the iteration count
+/// is grown until a repetition lasts at least ~100ms.
+template <typename Fn>
+double seconds_per_call(Fn&& fn) {
+  fn();  // warm-up (touches caches, trains the branch predictors)
+  std::size_t iters = 1;
+  double best;
+  for (;;) {
+    Timer t;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = t.seconds();
+    if (s >= 0.1) {
+      best = s / static_cast<double>(iters);
+      break;
+    }
+    iters *= 4;
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    Timer t;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, t.seconds() / static_cast<double>(iters));
+  }
+  return best;
+}
+
+/// Clean ACGT reads with varied lengths (crossing the 4/8/32-base stride
+/// boundaries); with_specials additionally injects N runs, an empty read,
+/// and an all-N read to exercise the escape fallback.
+std::vector<std::string> harness_sequences(bool with_specials) {
+  const auto& ref = bench_reference();
+  Rng rng(991);
+  std::vector<std::string> seqs;
+  while (seqs.size() < 512) {
+    const auto& contig =
+        ref.contig(static_cast<std::int32_t>(rng.below(2))).sequence;
+    const std::size_t len = 120 + rng.below(64);
+    const std::size_t pos = rng.below(contig.size() - len - 1);
+    std::string s = contig.substr(pos, len);
+    for (auto& c : s) {
+      if (c != 'A' && c != 'C' && c != 'G' && c != 'T') c = 'A';
+    }
+    if (with_specials && rng.below(4) == 0) {
+      const std::size_t at = rng.below(s.size() - 4);
+      const std::size_t run = 1 + rng.below(4);
+      for (std::size_t i = at; i < at + run; ++i) s[i] = 'N';
+    }
+    seqs.push_back(std::move(s));
+  }
+  if (with_specials) {
+    seqs.push_back("");
+    seqs.push_back(std::string(31, 'N'));
+    seqs.push_back("ACGTN");
+  }
+  return seqs;
+}
+
+/// Correlated quality walks (the delta distribution the codec is built
+/// for), one per sequence.
+std::vector<std::string> harness_qualities(
+    const std::vector<std::string>& seqs) {
+  Rng rng(992);
+  std::vector<std::string> quals;
+  quals.reserve(seqs.size());
+  for (const auto& s : seqs) {
+    std::string q(s.size(), 'I');
+    int cur = 'I';
+    for (auto& c : q) {
+      cur += static_cast<int>(rng.below(5)) - 2;
+      cur = std::clamp(cur, '#' + 0, 'J' + 0);
+      c = static_cast<char>(cur);
+    }
+    quals.push_back(std::move(q));
+  }
+  return quals;
+}
+
+struct SwCase {
+  std::string query;
+  std::string target;
+};
+
+/// Fuzzed query/target pairs: the query is a mutated slice of the target
+/// (substitutions plus an occasional 1-base indel).
+std::vector<SwCase> harness_sw_cases(std::size_t n, std::size_t qlen,
+                                     std::size_t tlen) {
+  const auto& ref = bench_reference();
+  Rng rng(993);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::vector<SwCase> cases;
+  const auto& contig = ref.contig(0).sequence;
+  while (cases.size() < n) {
+    const std::size_t pos = rng.below(contig.size() - tlen - 1);
+    std::string target = contig.substr(pos, tlen);
+    if (target.find('N') != std::string::npos) continue;
+    std::string query = target.substr((tlen - qlen) / 2, qlen);
+    for (int k = 0; k < 5; ++k) {
+      query[rng.below(query.size())] = kBases[rng.below(4)];
+    }
+    if (rng.below(2) == 0) {
+      query.erase(rng.below(query.size() - 2), 1);
+      query.push_back(kBases[rng.below(4)]);
+    }
+    cases.push_back({std::move(query), std::move(target)});
+  }
+  return cases;
+}
+
+bool same_alignment(const align::AlignmentResult& a,
+                    const align::AlignmentResult& b) {
+  return a.score == b.score && a.query_start == b.query_start &&
+         a.query_end == b.query_end && a.ref_start == b.ref_start &&
+         a.ref_end == b.ref_end && a.mismatches == b.mismatches &&
+         cigar_to_string(a.cigar) == cigar_to_string(b.cigar);
+}
+
+struct KernelReport {
+  std::string name;
+  std::string unit;
+  double baseline = 0.0;   // reference / scalar implementation
+  double optimized = 0.0;  // dispatched fast path
+  bool outputs_match = false;
+};
+
+KernelReport report_seq_pack(const simd::Level fast) {
+  const auto seqs = harness_sequences(/*with_specials=*/false);
+  const auto quals = harness_qualities(seqs);
+  double bases = 0;
+  for (const auto& s : seqs) bases += static_cast<double>(s.size());
+
+  auto pack_all = [&](simd::Level level) {
+    // Clean reads leave the quality untouched, so the persistent strings
+    // can be passed straight through.
+    auto q = quals;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      benchmark::DoNotOptimize(
+          gpf::detail::compress_sequence_at(level, seqs[i], q[i]));
+    }
+  };
+  KernelReport r{"seq_pack", "MB/s"};
+  const double base_s =
+      seconds_per_call([&] { pack_all(simd::Level::kScalar); });
+  const double fast_s = seconds_per_call([&] { pack_all(fast); });
+  r.baseline = bases / base_s / 1e6;
+  r.optimized = bases / fast_s / 1e6;
+
+  // Equivalence over the special-laden set: packed bytes and the rewritten
+  // quality must be byte-identical.
+  r.outputs_match = true;
+  const auto mixed = harness_sequences(/*with_specials=*/true);
+  const auto mixed_quals = harness_qualities(mixed);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    std::string qa = mixed_quals[i];
+    std::string qb = mixed_quals[i];
+    const auto ca =
+        gpf::detail::compress_sequence_at(simd::Level::kScalar, mixed[i], qa);
+    const auto cb = gpf::detail::compress_sequence_at(fast, mixed[i], qb);
+    if (ca.packed != cb.packed || ca.length != cb.length || qa != qb) {
+      r.outputs_match = false;
+    }
+  }
+  return r;
+}
+
+KernelReport report_seq_unpack(const simd::Level fast) {
+  const auto seqs = harness_sequences(/*with_specials=*/false);
+  auto quals = harness_qualities(seqs);
+  std::vector<CompressedSequence> packed;
+  packed.reserve(seqs.size());
+  double bases = 0;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    packed.push_back(gpf::detail::compress_sequence_at(simd::Level::kScalar,
+                                                       seqs[i], quals[i]));
+    bases += static_cast<double>(seqs[i].size());
+  }
+
+  auto unpack_all = [&](simd::Level level) {
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      benchmark::DoNotOptimize(
+          gpf::detail::decompress_sequence_at(level, packed[i], quals[i]));
+    }
+  };
+  KernelReport r{"seq_unpack", "MB/s"};
+  const double base_s =
+      seconds_per_call([&] { unpack_all(simd::Level::kScalar); });
+  const double fast_s = seconds_per_call([&] { unpack_all(fast); });
+  r.baseline = bases / base_s / 1e6;
+  r.optimized = bases / fast_s / 1e6;
+
+  r.outputs_match = true;
+  const auto mixed = harness_sequences(/*with_specials=*/true);
+  const auto mixed_quals = harness_qualities(mixed);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    std::string enc_q = mixed_quals[i];
+    const auto comp = gpf::detail::compress_sequence_at(simd::Level::kScalar,
+                                                        mixed[i], enc_q);
+    std::string qa = enc_q;
+    std::string qb = enc_q;
+    const std::string sa =
+        gpf::detail::decompress_sequence_at(simd::Level::kScalar, comp, qa);
+    const std::string sb =
+        gpf::detail::decompress_sequence_at(fast, comp, qb);
+    if (sa != sb || qa != qb) r.outputs_match = false;
+  }
+  return r;
+}
+
+KernelReport report_qual_decode(const simd::Level fast) {
+  const auto seqs = harness_sequences(/*with_specials=*/false);
+  const auto quals = harness_qualities(seqs);
+  const QualityCodec codec = QualityCodec::train(quals);
+  BitWriter bw;
+  for (const auto& q : quals) codec.encode(q, bw);
+  const auto bits = bw.finish();
+  double chars = 0;
+  for (const auto& q : quals) chars += static_cast<double>(q.size());
+
+  auto decode_all = [&](simd::Level level) {
+    BitReader br(std::span(bits.data(), bits.size()));
+    for (std::size_t i = 0; i < quals.size(); ++i) {
+      benchmark::DoNotOptimize(codec.decode_at(level, br));
+    }
+  };
+  KernelReport r{"qual_decode", "MB/s"};
+  const double base_s =
+      seconds_per_call([&] { decode_all(simd::Level::kScalar); });
+  const double fast_s = seconds_per_call([&] { decode_all(fast); });
+  r.baseline = chars / base_s / 1e6;
+  r.optimized = chars / fast_s / 1e6;
+
+  r.outputs_match = true;
+  BitReader ba(std::span(bits.data(), bits.size()));
+  BitReader bb(std::span(bits.data(), bits.size()));
+  for (std::size_t i = 0; i < quals.size(); ++i) {
+    const std::string da = codec.decode_at(simd::Level::kScalar, ba);
+    const std::string db = codec.decode_at(fast, bb);
+    if (da != quals[i] || db != quals[i]) r.outputs_match = false;
+  }
+  return r;
+}
+
+KernelReport report_sw(const char* name, bool glocal_mode) {
+  const auto cases = glocal_mode ? harness_sw_cases(32, 100, 148)
+                                 : harness_sw_cases(32, 100, 110);
+  const align::ScoringScheme scoring;
+  const int band = 16;
+
+  auto run_fast = [&](const SwCase& c) {
+    return glocal_mode ? align::glocal(c.query, c.target, scoring, band)
+                       : align::banded_global(c.query, c.target, scoring,
+                                              band);
+  };
+  auto run_ref = [&](const SwCase& c) {
+    return glocal_mode
+               ? align::detail::glocal_reference(c.query, c.target, scoring,
+                                                 band)
+               : align::detail::banded_global_reference(c.query, c.target,
+                                                        scoring, band);
+  };
+
+  KernelReport r{name, "alignments/s"};
+  const double base_s = seconds_per_call([&] {
+    for (const auto& c : cases) benchmark::DoNotOptimize(run_ref(c));
+  });
+  const double fast_s = seconds_per_call([&] {
+    for (const auto& c : cases) benchmark::DoNotOptimize(run_fast(c));
+  });
+  r.baseline = static_cast<double>(cases.size()) / base_s;
+  r.optimized = static_cast<double>(cases.size()) / fast_s;
+
+  r.outputs_match = true;
+  for (const auto& c : cases) {
+    if (!same_alignment(run_ref(c), run_fast(c))) r.outputs_match = false;
+  }
+  return r;
+}
+
+int run_json_harness(const std::string& path) {
+  const simd::Level fast = simd::active_level();
+  std::vector<KernelReport> reports;
+  reports.push_back(report_seq_pack(fast));
+  reports.push_back(report_seq_unpack(fast));
+  reports.push_back(report_qual_decode(fast));
+  reports.push_back(report_sw("sw_banded_global", /*glocal_mode=*/false));
+  reports.push_back(report_sw("sw_glocal", /*glocal_mode=*/true));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[256];
+  out << "{\n  \"simd_level\": \"" << simd::level_name(fast)
+      << "\",\n  \"kernels\": [\n";
+  bool all_match = true;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    const double speedup = r.baseline > 0 ? r.optimized / r.baseline : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                  "\"baseline\": %.2f, \"optimized\": %.2f, "
+                  "\"speedup\": %.2f, \"outputs_match\": %s}%s\n",
+                  r.name.c_str(), r.unit.c_str(), r.baseline, r.optimized,
+                  speedup, r.outputs_match ? "true" : "false",
+                  i + 1 < reports.size() ? "," : "");
+    out << buf;
+    std::printf("%-18s %10.2f -> %10.2f %-13s %5.2fx  %s\n", r.name.c_str(),
+                r.baseline, r.optimized, r.unit.c_str(), speedup,
+                r.outputs_match ? "ok" : "MISMATCH");
+    all_match = all_match && r.outputs_match;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (simd level: %s)\n", path.c_str(),
+              simd::level_name(fast));
+  return all_match ? 0 : 2;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") return run_json_harness("BENCH_kernels.json");
+    if (arg.rfind("--json=", 0) == 0) {
+      return run_json_harness(std::string(arg.substr(7)));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,4 +45,20 @@ AlignmentResult banded_global(std::string_view query, std::string_view ref,
 AlignmentResult glocal(std::string_view query, std::string_view ref,
                        const ScoringScheme& scoring, int band);
 
+namespace detail {
+
+/// Unoptimized reference kernels: the original full-matrix Gotoh DP that
+/// allocates six (m+1)x(n+1) matrices per call.  The production kernels
+/// above use a reusable per-thread workspace with banded row-pair storage;
+/// these stay behind so the equivalence tests and the perf-regression
+/// harness can check the fast path cell-for-cell against the textbook one.
+AlignmentResult banded_global_reference(std::string_view query,
+                                        std::string_view ref,
+                                        const ScoringScheme& scoring,
+                                        int band);
+AlignmentResult glocal_reference(std::string_view query, std::string_view ref,
+                                 const ScoringScheme& scoring, int band);
+
+}  // namespace detail
+
 }  // namespace gpf::align

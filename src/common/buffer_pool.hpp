@@ -1,0 +1,68 @@
+// Bounded free-list of byte buffers shared across engine tasks.
+//
+// Shuffle map tasks and persist stages encode every block into a fresh
+// std::vector, which at steady state means one large allocation (and one
+// free) per block per stage.  The pool recycles those allocations: a task
+// acquires an empty buffer that keeps the capacity of a previously
+// released one, encodes into it, and the engine returns the storage once
+// the consuming side is done with the bytes.  The free list is capped so
+// a burst of wide stages cannot pin unbounded memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gpf {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers = 64)
+      : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer, reusing the capacity of a released one when
+  /// available.
+  std::vector<std::uint8_t> acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();  // keeps capacity
+    ++reuses_;
+    return buf;
+  }
+
+  /// Donates `buf`'s storage to the pool.  Buffers beyond the cap (and
+  /// buffers with no capacity) are simply freed.
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= max_buffers_) return;
+    free_.push_back(std::move(buf));
+  }
+
+  /// Number of buffers currently parked in the free list.
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+  /// How many acquire() calls were satisfied from the free list.
+  std::uint64_t reuse_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_buffers_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace gpf

@@ -22,6 +22,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts `buf`'s storage (cleared, capacity kept) so encode paths can
+  /// reuse pooled buffers instead of reallocating; pair with take().
+  explicit ByteWriter(std::vector<std::uint8_t>&& buf)
+      : buf_(std::move(buf)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 

@@ -1,0 +1,99 @@
+// Portable SIMD/SWAR support for the hot codec and alignment kernels.
+//
+// Three dispatch levels: a pure-C++ 64-bit SWAR path that compiles and runs
+// everywhere, and guarded SSE4/AVX2 intrinsic paths selected at runtime from
+// CPUID.  The scalar path is always compiled so it stays testable on any
+// machine; setting the environment variable GPF_FORCE_SCALAR=1 pins dispatch
+// to it (the perf-regression harness uses this to measure the vector paths
+// against their scalar baselines on the same binary).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define GPF_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace gpf::simd {
+
+/// Dispatch levels, ordered so `level >= kSse4` style comparisons work.
+enum class Level : int {
+  kScalar = 0,  // 64-bit SWAR, no intrinsics
+  kSse4 = 1,    // 128-bit SSE4.2/SSSE3
+  kAvx2 = 2,    // 256-bit AVX2
+};
+
+inline const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse4:
+      return "sse4";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+/// Highest level this CPU supports (compile-time gated, then CPUID).
+inline Level detect_level() {
+#if defined(GPF_SIMD_X86) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("ssse3")) {
+    return Level::kSse4;
+  }
+#endif
+  return Level::kScalar;
+}
+
+/// Active dispatch level: detect_level() unless GPF_FORCE_SCALAR=1 is set in
+/// the environment.  Cached after the first call (env + CPUID cost once).
+inline Level active_level() {
+  static const Level cached = [] {
+    const char* force = std::getenv("GPF_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+      return Level::kScalar;
+    }
+    return detect_level();
+  }();
+  return cached;
+}
+
+// --- 64-bit SWAR primitives -------------------------------------------------
+//
+// Treat a std::uint64_t as eight byte lanes.  All helpers are branch-free
+// and exact per lane (no carry bleed between lanes).
+
+inline constexpr std::uint64_t kLaneLsb = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kLaneMsb = 0x8080808080808080ULL;
+
+/// Replicates `b` into all eight lanes.
+inline constexpr std::uint64_t broadcast(std::uint8_t b) {
+  return kLaneLsb * b;
+}
+
+/// Unaligned little-endian 64-bit load/store.
+inline std::uint64_t load_u64(const void* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store_u64(void* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+/// 0x80 in every lane whose byte is zero, 0x00 elsewhere.  Exact per lane
+/// (uses the carry-free Hacker's Delight form, not the cheaper variant that
+/// over-reports after a zero lane).
+inline constexpr std::uint64_t zero_lanes(std::uint64_t v) {
+  return ~(((v & ~kLaneMsb) + ~kLaneMsb) | v) & kLaneMsb;
+}
+
+/// 0x80 in every lane equal to `b`.
+inline constexpr std::uint64_t eq_lanes(std::uint64_t v, std::uint8_t b) {
+  return zero_lanes(v ^ broadcast(b));
+}
+
+}  // namespace gpf::simd

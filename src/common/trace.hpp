@@ -127,7 +127,9 @@ class ScopedSpan {
     TraceRecorder& r = TraceRecorder::global();
     if (!r.enabled()) return;
     recorder_ = &r;
-    name_ = &name;
+    // Copy, don't alias: callers may pass a temporary (e.g. a string
+    // literal) that dies before the destructor runs.
+    name_ = name;
     kind_ = kind;
     task_ = task;
     attempt_ = attempt;
@@ -140,7 +142,7 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (recorder_ == nullptr) return;
     Span s;
-    s.name = *name_;
+    s.name = std::move(name_);
     s.kind = kind_;
     s.start_us = start_us_;
     s.dur_us = recorder_->now_us() - start_us_;
@@ -157,7 +159,7 @@ class ScopedSpan {
 
  private:
   TraceRecorder* recorder_ = nullptr;
-  const std::string* name_ = nullptr;
+  std::string name_;
   SpanKind kind_ = SpanKind::kTask;
   double start_us_ = 0.0;
   std::int64_t task_ = -1;

@@ -134,6 +134,27 @@ void HuffmanCoder::build_canonical() {
       table_[base + i] = {static_cast<std::uint16_t>(s), len};
     }
   }
+
+  // Multi-symbol table: greedily re-decode each window through table_ and
+  // record every symbol whose code fits entirely in the known bits.  One
+  // probe of this table then yields several symbols (short codes dominate
+  // for the skewed genomic alphabets), amortizing the per-symbol
+  // peek/skip bookkeeping.
+  multi_.assign(1u << kTableBits, MultiEntry{});
+  constexpr std::uint32_t kWindowMask = (1u << kTableBits) - 1;
+  for (std::uint32_t w = 0; w <= kWindowMask; ++w) {
+    MultiEntry& e = multi_[w];
+    std::uint8_t used = 0;
+    while (e.count < kMultiSymbols) {
+      const std::uint32_t sub = (w << used) & kWindowMask;
+      const TableEntry t = table_[sub];
+      if (t.length == 0 || used + t.length > kTableBits) break;
+      used = static_cast<std::uint8_t>(used + t.length);
+      e.symbols[e.count] = t.symbol;
+      e.bit_ends[e.count] = used;
+      ++e.count;
+    }
+  }
 }
 
 std::uint32_t HuffmanCoder::decode_long(BitReader& in) const {

@@ -51,9 +51,30 @@ class HuffmanCoder {
 
   std::size_t alphabet_size() const { return lengths_.size(); }
 
- private:
   static constexpr int kTableBits = 11;
+  static constexpr int kMultiSymbols = 4;
 
+  /// One probe of the multi-symbol decode table: every symbol whose code
+  /// lies entirely inside a kTableBits-wide window, up to kMultiSymbols per
+  /// probe.  `count == 0` means the first code is longer than the window
+  /// (fall back to decode()).  bit_ends[k] is the cumulative bit count
+  /// consumed after symbols[0..k], so a caller that stops early (e.g. at an
+  /// EOF symbol) can skip exactly the bits it used.
+  struct MultiEntry {
+    std::uint16_t symbols[kMultiSymbols];
+    std::uint8_t bit_ends[kMultiSymbols];
+    std::uint8_t count = 0;
+  };
+
+  /// Looks up the multi-symbol entry for a kTableBits-wide window.  The
+  /// caller must ensure at least kTableBits real bits back the window
+  /// (BitReader::peek zero-pads past the end, which would fabricate
+  /// symbols).
+  const MultiEntry& multi_entry(std::uint32_t window) const {
+    return multi_[window];
+  }
+
+ private:
   struct TableEntry {
     std::uint16_t symbol = 0;
     std::uint8_t length = 0;  // 0 = code longer than kTableBits
@@ -73,6 +94,8 @@ class HuffmanCoder {
   std::vector<std::uint32_t> sorted_symbols_;
   // Prefix table for codes of length <= kTableBits.
   std::vector<TableEntry> table_;
+  // Multi-symbol decode table (same windows as table_).
+  std::vector<MultiEntry> multi_;
 };
 
 }  // namespace gpf

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "compress/bitio.hpp"
 #include "compress/huffman.hpp"
 
@@ -38,6 +39,11 @@ class QualityCodec {
 
   /// Decodes one record (up to EOF).
   std::string decode(BitReader& in) const;
+
+  /// decode() with an explicit dispatch level: kScalar takes the
+  /// symbol-at-a-time path, anything higher the multi-symbol table loop.
+  /// Exposed for the equivalence tests and the perf-regression harness.
+  std::string decode_at(simd::Level level, BitReader& in) const;
 
  private:
   explicit QualityCodec(HuffmanCoder coder) : coder_(std::move(coder)) {}

@@ -230,9 +230,10 @@ const char* codec_name(Codec codec) {
 
 // --- FASTQ ----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode_fastq_batch(
-    std::span<const FastqRecord> records, Codec codec) {
-  ByteWriter w;
+namespace {
+
+void write_fastq_batch(ByteWriter& w, std::span<const FastqRecord> records,
+                       Codec codec) {
   batch_header(w, codec, records.size());
   switch (codec) {
     case Codec::kJavaLike: {
@@ -258,7 +259,22 @@ std::vector<std::uint8_t> encode_fastq_batch(
       gpf_encode_fastq_records(w, records);
       break;
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_fastq_batch(
+    std::span<const FastqRecord> records, Codec codec) {
+  ByteWriter w;
+  write_fastq_batch(w, records, codec);
   return w.take();
+}
+
+void encode_fastq_batch_into(std::span<const FastqRecord> records, Codec codec,
+                             std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  write_fastq_batch(w, records, codec);
+  out = w.take();
 }
 
 std::vector<FastqRecord> decode_fastq_batch(
@@ -307,8 +323,9 @@ std::vector<FastqRecord> decode_fastq_batch(
 
 // --- paired FASTQ -----------------------------------------------------------
 
-std::vector<std::uint8_t> encode_fastq_pair_batch(
-    std::span<const FastqPair> pairs, Codec codec) {
+namespace {
+
+std::vector<FastqRecord> flatten_pairs(std::span<const FastqPair> pairs) {
   // Flatten mates into one record stream: first mates then second mates,
   // so the GPF codec trains one quality table over both.
   std::vector<FastqRecord> flat;
@@ -317,7 +334,20 @@ std::vector<std::uint8_t> encode_fastq_pair_batch(
     flat.push_back(p.first);
     flat.push_back(p.second);
   }
-  return encode_fastq_batch(flat, codec);
+  return flat;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_fastq_pair_batch(
+    std::span<const FastqPair> pairs, Codec codec) {
+  return encode_fastq_batch(flatten_pairs(pairs), codec);
+}
+
+void encode_fastq_pair_batch_into(std::span<const FastqPair> pairs,
+                                  Codec codec,
+                                  std::vector<std::uint8_t>& out) {
+  encode_fastq_batch_into(flatten_pairs(pairs), codec, out);
 }
 
 std::vector<FastqPair> decode_fastq_pair_batch(
@@ -417,9 +447,10 @@ SamRecord gpf_read_sam_fixed_fields(ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_sam_batch(std::span<const SamRecord> records,
-                                           Codec codec) {
-  ByteWriter w;
+namespace {
+
+void write_sam_batch(ByteWriter& w, std::span<const SamRecord> records,
+                     Codec codec) {
   batch_header(w, codec, records.size());
   switch (codec) {
     case Codec::kJavaLike: {
@@ -477,7 +508,22 @@ std::vector<std::uint8_t> encode_sam_batch(std::span<const SamRecord> records,
       break;
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_sam_batch(std::span<const SamRecord> records,
+                                           Codec codec) {
+  ByteWriter w;
+  write_sam_batch(w, records, codec);
   return w.take();
+}
+
+void encode_sam_batch_into(std::span<const SamRecord> records, Codec codec,
+                           std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  write_sam_batch(w, records, codec);
+  out = w.take();
 }
 
 std::vector<SamRecord> decode_sam_batch(std::span<const std::uint8_t> bytes,
@@ -565,9 +611,10 @@ std::vector<SamRecord> decode_sam_batch(std::span<const std::uint8_t> bytes,
 
 // --- VCF --------------------------------------------------------------------
 
-std::vector<std::uint8_t> encode_vcf_batch(std::span<const VcfRecord> records,
-                                           Codec codec) {
-  ByteWriter w;
+namespace {
+
+void write_vcf_batch(ByteWriter& w, std::span<const VcfRecord> records,
+                     Codec codec) {
   batch_header(w, codec, records.size());
   switch (codec) {
     case Codec::kJavaLike: {
@@ -601,7 +648,22 @@ std::vector<std::uint8_t> encode_vcf_batch(std::span<const VcfRecord> records,
       }
       break;
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_vcf_batch(std::span<const VcfRecord> records,
+                                           Codec codec) {
+  ByteWriter w;
+  write_vcf_batch(w, records, codec);
   return w.take();
+}
+
+void encode_vcf_batch_into(std::span<const VcfRecord> records, Codec codec,
+                           std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  write_vcf_batch(w, records, codec);
+  out = w.take();
 }
 
 std::vector<VcfRecord> decode_vcf_batch(std::span<const std::uint8_t> bytes,

@@ -37,6 +37,19 @@ std::vector<std::uint8_t> encode_fastq_batch(
 std::vector<FastqRecord> decode_fastq_batch(
     std::span<const std::uint8_t> bytes, Codec codec);
 
+/// In-place encode variants: `out` is cleared and refilled, reusing its
+/// capacity.  Output bytes are identical to the allocating overloads;
+/// these back ShuffleCodec::encode_into so pooled buffers can be reused
+/// across shuffle blocks.
+void encode_fastq_batch_into(std::span<const FastqRecord> records, Codec codec,
+                             std::vector<std::uint8_t>& out);
+void encode_fastq_pair_batch_into(std::span<const FastqPair> pairs,
+                                  Codec codec, std::vector<std::uint8_t>& out);
+void encode_sam_batch_into(std::span<const SamRecord> records, Codec codec,
+                           std::vector<std::uint8_t>& out);
+void encode_vcf_batch_into(std::span<const VcfRecord> records, Codec codec,
+                           std::vector<std::uint8_t>& out);
+
 /// Paired FASTQ batches ------------------------------------------------
 
 std::vector<std::uint8_t> encode_fastq_pair_batch(

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
+
 namespace gpf {
 
 /// Quality character reserved for escaped special bases.  SOH (0x01), as
@@ -43,5 +45,20 @@ std::string decompress_sequence(const CompressedSequence& compressed,
 
 /// Encoded size in bytes for `bases` bases: ceil(bases/4).
 std::size_t packed_size(std::size_t bases);
+
+namespace detail {
+
+/// Entry points with an explicit dispatch level.  The public functions call
+/// these with simd::active_level(); tests and the perf harness call them
+/// directly to assert the SWAR/SSE4/AVX2 paths are byte-identical to the
+/// scalar path and to measure each path on the same machine.
+CompressedSequence compress_sequence_at(simd::Level level,
+                                        std::string_view sequence,
+                                        std::string& quality);
+std::string decompress_sequence_at(simd::Level level,
+                                   const CompressedSequence& compressed,
+                                   std::string& quality);
+
+}  // namespace detail
 
 }  // namespace gpf

@@ -152,6 +152,9 @@ engine::ShuffleCodec<FastqPair> make_fastq_pair_codec(Codec codec) {
       [codec](std::span<const std::uint8_t> bytes) {
         return decode_fastq_pair_batch(bytes, codec);
       },
+      [codec](std::span<const FastqPair> p, std::vector<std::uint8_t>& out) {
+        encode_fastq_pair_batch_into(p, codec, out);
+      },
   };
 }
 
@@ -163,6 +166,9 @@ engine::ShuffleCodec<SamRecord> make_sam_codec(Codec codec) {
       [codec](std::span<const std::uint8_t> bytes) {
         return decode_sam_batch(bytes, codec);
       },
+      [codec](std::span<const SamRecord> r, std::vector<std::uint8_t>& out) {
+        encode_sam_batch_into(r, codec, out);
+      },
   };
 }
 
@@ -173,6 +179,9 @@ engine::ShuffleCodec<VcfRecord> make_vcf_codec(Codec codec) {
       },
       [codec](std::span<const std::uint8_t> bytes) {
         return decode_vcf_batch(bytes, codec);
+      },
+      [codec](std::span<const VcfRecord> r, std::vector<std::uint8_t>& out) {
+        encode_vcf_batch_into(r, codec, out);
       },
   };
 }

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -47,6 +48,12 @@ template <typename T>
 struct ShuffleCodec {
   std::function<std::vector<std::uint8_t>(std::span<const T>)> encode;
   std::function<std::vector<T>(std::span<const std::uint8_t>)> decode;
+  /// Optional in-place variant: encode into `out` (cleared first, capacity
+  /// reused).  When set, shuffle map tasks encode into buffers recycled
+  /// through the engine's BufferPool instead of allocating per block.
+  /// Must produce bytes identical to `encode`.
+  std::function<void(std::span<const T>, std::vector<std::uint8_t>&)>
+      encode_into;
 
   bool valid() const { return encode != nullptr && decode != nullptr; }
 };
@@ -86,6 +93,8 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   ThreadPool& pool() { return pool_; }
+  /// Recycled encode buffers for shuffle/persist blocks.
+  BufferPool& buffer_pool() { return buffer_pool_; }
   EngineMetrics& metrics() { return metrics_; }
   const EngineMetrics& metrics() const { return metrics_; }
 
@@ -115,6 +124,7 @@ class Engine {
   EngineConfig config_;
   ThreadPool pool_;
   EngineMetrics metrics_;
+  BufferPool buffer_pool_;
   std::shared_ptr<FaultInjector> injector_;
 };
 
@@ -132,6 +142,12 @@ class Dataset {
   Engine& engine() const { return *engine_; }
   std::size_t partition_count() const { return partitions_->size(); }
   const Partitions& partitions() const { return *partitions_; }
+  /// The shared, immutable partition storage.  Consumers (e.g.
+  /// SerializedDataset) can retain this pointer to share the data without
+  /// copying it.
+  const std::shared_ptr<Partitions>& shared_partitions() const {
+    return partitions_;
+  }
 
   std::size_t count() const {
     std::size_t n = 0;
@@ -309,8 +325,18 @@ class Dataset {
               out.encoded.resize(num_out);
               out.meta.resize(num_out);
               for (std::size_t b = 0; b < num_out; ++b) {
-                out.encoded[b] = codec_->encode(std::span<const T>(
-                    out.buckets[b].data(), out.buckets[b].size()));
+                const std::span<const T> bucket(out.buckets[b].data(),
+                                                out.buckets[b].size());
+                if (codec_->encode_into) {
+                  // Encode into a recycled buffer: steady-state shuffles
+                  // stop allocating one fresh vector per block.
+                  std::vector<std::uint8_t> buf =
+                      engine_->buffer_pool().acquire();
+                  codec_->encode_into(bucket, buf);
+                  out.encoded[b] = std::move(buf);
+                } else {
+                  out.encoded[b] = codec_->encode(bucket);
+                }
                 out.meta[b] = {shuffle_block_checksum(out.encoded[b]),
                                out.buckets[b].size()};
                 out.write_bytes += out.encoded[b].size();
@@ -408,6 +434,15 @@ class Dataset {
     for (const auto& r : reduce_outs) {
       stage.shuffle_read_bytes += r.read_bytes;
       stage.serialization_seconds += r.ser_seconds;
+    }
+    if (use_codec) {
+      // All reduce attempts (including speculative copies) are done, so
+      // the encoded blocks can be recycled for the next stage.
+      for (auto& m : map_outs) {
+        for (auto& blk : m.encoded) {
+          engine_->buffer_pool().release(std::move(blk));
+        }
+      }
     }
     if (!use_codec) {
       // Without a codec we still estimate moved volume from record count

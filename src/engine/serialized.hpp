@@ -6,6 +6,11 @@
 // encode to produce, reports its exact memory footprint, and materializes
 // back into live records on demand.  Pipelines persist cold intermediates
 // this way to halve memory consumption (the paper's Table 3 claim).
+//
+// Block storage is zero-copy on both edges: persist() adopts the encode
+// stage's shared partition storage instead of deep-copying every block,
+// and materialize() wraps that same storage as the decode stage's input.
+// The byte blocks are produced once and never duplicated.
 #pragma once
 
 #include <memory>
@@ -20,6 +25,11 @@ namespace gpf::engine {
 template <typename T>
 class SerializedDataset {
  public:
+  /// One encoded block per partition, in the engine's shared partition
+  /// layout (a "partition" of the byte dataset is a single-element vector
+  /// holding the block).
+  using Blocks = std::vector<std::vector<std::vector<std::uint8_t>>>;
+
   SerializedDataset() = default;
 
   /// Encodes every partition of `dataset` through `codec`; recorded as a
@@ -35,17 +45,22 @@ class SerializedDataset {
     out.codec_ = std::make_shared<ShuffleCodec<T>>(std::move(codec));
     auto encoded = dataset.template map_partitions<std::vector<std::uint8_t>>(
         name + ".persist",
-        [codec = out.codec_](const std::vector<T>& part) {
+        [codec = out.codec_,
+         engine = out.engine_](const std::vector<T>& part) {
           std::vector<std::vector<std::uint8_t>> one;
-          one.push_back(
-              codec->encode(std::span<const T>(part.data(), part.size())));
+          const std::span<const T> span(part.data(), part.size());
+          if (codec->encode_into) {
+            std::vector<std::uint8_t> buf = engine->buffer_pool().acquire();
+            codec->encode_into(span, buf);
+            one.push_back(std::move(buf));
+          } else {
+            one.push_back(codec->encode(span));
+          }
           return one;
         });
-    out.blocks_ = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
-    out.blocks_->reserve(encoded.partition_count());
-    for (const auto& part : encoded.partitions()) {
-      out.blocks_->push_back(part.at(0));
-    }
+    // Adopt the encode stage's shared partitions: the blocks are stored
+    // exactly once, never copied.
+    out.blocks_ = encoded.shared_partitions();
     return out;
   }
 
@@ -57,19 +72,18 @@ class SerializedDataset {
   std::size_t memory_bytes() const {
     if (!blocks_) return 0;
     std::size_t total = 0;
-    for (const auto& b : *blocks_) total += b.size();
+    for (const auto& part : *blocks_) {
+      for (const auto& b : part) total += b.size();
+    }
     return total;
   }
 
   /// Decodes back into a live Dataset; recorded as "<name>.materialize".
   Dataset<T> materialize(const std::string& name) const {
     if (!blocks_) throw std::logic_error("materialize: empty");
-    // Wrap the blocks as a dataset of byte buffers so decoding runs as a
-    // normal parallel stage with retry semantics.
-    std::vector<std::vector<std::vector<std::uint8_t>>> parts;
-    parts.reserve(blocks_->size());
-    for (const auto& b : *blocks_) parts.push_back({b});
-    auto bytes_ds = engine_->make_dataset(std::move(parts));
+    // Wrap the shared blocks as a dataset of byte buffers (no copies) so
+    // decoding runs as a normal parallel stage with retry semantics.
+    Dataset<std::vector<std::uint8_t>> bytes_ds(engine_, blocks_);
     return bytes_ds.template map_partitions<T>(
         name + ".materialize",
         [codec = codec_](
@@ -82,7 +96,7 @@ class SerializedDataset {
  private:
   Engine* engine_ = nullptr;
   std::shared_ptr<ShuffleCodec<T>> codec_;
-  std::shared_ptr<std::vector<std::vector<std::uint8_t>>> blocks_;
+  std::shared_ptr<Blocks> blocks_;
 };
 
 }  // namespace gpf::engine

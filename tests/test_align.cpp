@@ -199,6 +199,83 @@ TEST(SmithWaterman, EmptyInputs) {
   EXPECT_TRUE(glocal("", "ACGT", {}, 4).cigar.empty());
 }
 
+/// The banded-workspace kernels must reproduce the original full-matrix DP
+/// exactly: same score, same span, same CIGAR, same mismatch count.
+void expect_same_alignment(const AlignmentResult& fast,
+                           const AlignmentResult& slow,
+                           const std::string& label) {
+  EXPECT_EQ(fast.score, slow.score) << label;
+  EXPECT_EQ(fast.query_start, slow.query_start) << label;
+  EXPECT_EQ(fast.query_end, slow.query_end) << label;
+  EXPECT_EQ(fast.ref_start, slow.ref_start) << label;
+  EXPECT_EQ(fast.ref_end, slow.ref_end) << label;
+  EXPECT_EQ(fast.mismatches, slow.mismatches) << label;
+  EXPECT_EQ(cigar_to_string(fast.cigar), cigar_to_string(slow.cigar))
+      << label;
+}
+
+TEST(SmithWaterman, WorkspaceMatchesReferenceOnFuzzedPairs) {
+  Rng rng(181);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t rlen = 8 + rng.below(120);
+    std::string ref(rlen, 'A');
+    for (auto& c : ref) c = bases[rng.below(4)];
+    const std::size_t qlen = 1 + rng.below(rlen);
+    std::string query = ref.substr(rng.below(rlen - qlen + 1), qlen);
+    // Mutations: substitutions plus an occasional 1-base indel.
+    for (int m = 0; m < 4; ++m) {
+      query[rng.below(query.size())] = bases[rng.below(4)];
+    }
+    if (rng.below(3) == 0 && query.size() > 3) {
+      query.erase(rng.below(query.size() - 1), 1);
+    }
+    if (rng.below(3) == 0) {
+      query.insert(rng.below(query.size()), 1, bases[rng.below(4)]);
+    }
+    const int band = 1 + static_cast<int>(rng.below(16));
+    const std::string label = "trial " + std::to_string(trial) + " band " +
+                              std::to_string(band);
+    expect_same_alignment(
+        banded_global(query, ref, {}, band),
+        detail::banded_global_reference(query, ref, {}, band),
+        "global " + label);
+    expect_same_alignment(glocal(query, ref, {}, band),
+                          detail::glocal_reference(query, ref, {}, band),
+                          "glocal " + label);
+  }
+}
+
+TEST(SmithWaterman, WorkspaceMatchesReferenceOnEdgeShapes) {
+  // Degenerate shapes: single-base inputs, query longer than ref, band
+  // wider than both sequences, band of 1.
+  const struct {
+    const char* query;
+    const char* ref;
+    int band;
+  } cases[] = {
+      {"A", "A", 1},         {"A", "T", 1},
+      {"ACGT", "A", 8},      {"A", "ACGT", 8},
+      {"ACGTACGT", "TGCA", 2}, {"ACACACAC", "ACACACAC", 64},
+      {"GGGG", "CCCC", 1},
+  };
+  for (const auto& c : cases) {
+    const std::string label =
+        std::string(c.query) + "/" + c.ref + " band " + std::to_string(c.band);
+    expect_same_alignment(
+        banded_global(c.query, c.ref, {}, c.band),
+        detail::banded_global_reference(c.query, c.ref, {}, c.band),
+        "global " + label);
+    expect_same_alignment(glocal(c.query, c.ref, {}, c.band),
+                          detail::glocal_reference(c.query, c.ref, {}, c.band),
+                          "glocal " + label);
+  }
+  // Empty inputs behave identically too.
+  EXPECT_THROW(detail::banded_global_reference("", "ACGT", {}, 4),
+               std::invalid_argument);
+  EXPECT_TRUE(detail::glocal_reference("", "ACGT", {}, 4).cigar.empty());
+}
+
 TEST(SmithWaterman, CigarConsistencyProperty) {
   Rng rng(83);
   const char bases[] = {'A', 'C', 'G', 'T'};

@@ -3,9 +3,11 @@
 // serializers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "compress/bitio.hpp"
 #include "compress/huffman.hpp"
 #include "compress/qual_codec.hpp"
@@ -368,10 +370,176 @@ TEST(RecordCodecSizes, SamCompressionRateLowerThanFastq) {
   EXPECT_GT(sam_ratio, 1.0);
 }
 
+TEST(RecordCodecInto, InPlaceEncodersMatchAllocating) {
+  const auto fastq = sample_fastq(64);
+  const auto sam = sample_sam(64);
+  for (const Codec codec :
+       {Codec::kJavaLike, Codec::kKryoLike, Codec::kGpf}) {
+    // Start from a dirty, preallocated buffer: the in-place encoders must
+    // clear it and produce the exact allocating output.
+    std::vector<std::uint8_t> out(333, 0xee);
+    encode_fastq_batch_into(fastq, codec, out);
+    EXPECT_EQ(out, encode_fastq_batch(fastq, codec)) << codec_name(codec);
+    encode_sam_batch_into(sam, codec, out);
+    EXPECT_EQ(out, encode_sam_batch(sam, codec)) << codec_name(codec);
+  }
+}
+
 TEST(LiveSize, AccountsForHeapStrings) {
   FastqRecord small{"n", "AC", "II"};
   FastqRecord big{"n", std::string(1000, 'A'), std::string(1000, 'I')};
   EXPECT_GT(live_size(big), live_size(small) + 1500);
+}
+
+// --- cross-level SIMD equivalence -----------------------------------------
+
+/// Dispatch levels the current machine can actually execute.  The scalar
+/// path is always present; SSE4/AVX2 only when the CPU supports them.
+std::vector<simd::Level> testable_levels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  const simd::Level top = simd::detect_level();
+  if (top >= simd::Level::kSse4) levels.push_back(simd::Level::kSse4);
+  if (top >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  return levels;
+}
+
+/// Asserts every available level compresses and decompresses `seq`
+/// byte-identically to the scalar path (packed payload, rewritten quality,
+/// restored sequence and quality).
+void expect_levels_agree(const std::string& seq, const std::string& qual) {
+  std::string scalar_qual = qual;
+  const auto scalar = detail::compress_sequence_at(simd::Level::kScalar, seq,
+                                                   scalar_qual);
+  for (const simd::Level level : testable_levels()) {
+    std::string q = qual;
+    const auto got = detail::compress_sequence_at(level, seq, q);
+    ASSERT_EQ(got.length, scalar.length) << simd::level_name(level);
+    ASSERT_EQ(got.packed, scalar.packed) << simd::level_name(level);
+    ASSERT_EQ(q, scalar_qual) << simd::level_name(level);
+
+    std::string dq_scalar = scalar_qual;
+    std::string dq = scalar_qual;
+    const std::string want = detail::decompress_sequence_at(
+        simd::Level::kScalar, scalar, dq_scalar);
+    const std::string out = detail::decompress_sequence_at(level, got, dq);
+    ASSERT_EQ(out, want) << simd::level_name(level);
+    ASSERT_EQ(dq, dq_scalar) << simd::level_name(level);
+    // Any special base round-trips as 'N' (the escape is N-restoring).
+    std::string expected = seq;
+    for (auto& c : expected) {
+      if (c != 'A' && c != 'C' && c != 'G' && c != 'T') c = 'N';
+    }
+    ASSERT_EQ(out, expected) << simd::level_name(level);
+  }
+}
+
+TEST(SeqCodecSimd, RandomReadsAllLevelsBitIdentical) {
+  Rng rng(137);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = rng.below(400);
+    std::string seq(len, 'A'), qual(len, 'I');
+    for (std::size_t i = 0; i < len; ++i) {
+      seq[i] = bases[rng.below(4)];
+      qual[i] = static_cast<char>(35 + rng.below(40));
+    }
+    // A quarter of the reads carry N runs (escape fallback blocks).
+    if (trial % 4 == 0 && len >= 8) {
+      const std::size_t at = rng.below(len - 4);
+      const std::size_t run = 1 + rng.below(4);
+      for (std::size_t i = at; i < at + run; ++i) seq[i] = 'N';
+    }
+    expect_levels_agree(seq, qual);
+  }
+}
+
+TEST(SeqCodecSimd, EdgeLengthsAndSpecialPlacements) {
+  // Lengths straddling the 4-base byte, 8-base SWAR and 32-base AVX2
+  // strides, with every length % 4 residue.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{31}, std::size_t{32}, std::size_t{33}, std::size_t{63},
+        std::size_t{64}, std::size_t{65}}) {
+    std::string seq(len, 'A');
+    for (std::size_t i = 0; i < len; ++i) seq[i] = "ACGT"[i % 4];
+    expect_levels_agree(seq, std::string(len, 'F'));
+    if (len == 0) continue;
+    // All-special read.
+    expect_levels_agree(std::string(len, 'N'), std::string(len, 'F'));
+    // Specials pinned to the first, last and stride-boundary positions.
+    std::string edges = seq;
+    edges[0] = 'N';
+    edges[len - 1] = 'X';
+    if (len > 8) edges[8] = 'N';
+    if (len > 32) edges[32] = 'N';
+    expect_levels_agree(edges, std::string(len, 'F'));
+  }
+}
+
+TEST(SeqCodecSimd, TruncatedPackedThrowsAtEveryLevel) {
+  CompressedSequence bad;
+  bad.length = 10;
+  bad.packed = {0x00};  // needs ceil(10/4) == 3 bytes
+  for (const simd::Level level : testable_levels()) {
+    std::string qual(10, 'I');
+    EXPECT_THROW(detail::decompress_sequence_at(level, bad, qual),
+                 std::out_of_range)
+        << simd::level_name(level);
+  }
+}
+
+TEST(QualCodecSimd, MultiSymbolDecodeMatchesScalar) {
+  Rng rng(139);
+  std::vector<std::string> quals;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t len = rng.below(200);
+    std::string q(len, 'I');
+    int cur = 'I';
+    for (auto& c : q) {
+      cur += static_cast<int>(rng.below(5)) - 2;
+      cur = std::max('#' + 0, std::min('J' + 0, cur));
+      c = static_cast<char>(cur);
+    }
+    quals.push_back(std::move(q));
+  }
+  quals.emplace_back();  // empty record: EOF is the first symbol
+  const QualityCodec codec = QualityCodec::train(quals);
+  BitWriter w;
+  for (const auto& q : quals) codec.encode(q, w);
+  const auto bytes = w.finish();
+
+  BitReader scalar_in(std::span(bytes.data(), bytes.size()));
+  BitReader multi_in(std::span(bytes.data(), bytes.size()));
+  for (const auto& q : quals) {
+    // Any non-scalar level takes the multi-symbol table loop; the flag is
+    // dispatch-only (no ISA-specific instructions), so kAvx2 is safe here.
+    const std::string scalar = codec.decode_at(simd::Level::kScalar,
+                                               scalar_in);
+    const std::string multi = codec.decode_at(simd::Level::kAvx2, multi_in);
+    ASSERT_EQ(scalar, q);
+    ASSERT_EQ(multi, q);
+  }
+}
+
+TEST(HuffmanMulti, MultiEntriesConsistentWithSingleDecode) {
+  // Every multi-table entry must re-trace to the same symbols the
+  // single-symbol table yields for that window.
+  std::vector<std::uint64_t> freq(kQualityAlphabet, 1);
+  freq[128] = 1000;  // skewed: delta 0 dominates, like real quality data
+  freq[127] = 300;
+  freq[129] = 300;
+  const HuffmanCoder coder = HuffmanCoder::from_frequencies(freq);
+  for (std::uint32_t w = 0; w < (1u << HuffmanCoder::kTableBits); w += 37) {
+    const HuffmanCoder::MultiEntry& e = coder.multi_entry(w);
+    std::uint8_t used = 0;
+    for (int k = 0; k < e.count; ++k) {
+      ASSERT_GT(e.bit_ends[k], used);
+      used = e.bit_ends[k];
+      ASSERT_LE(used, HuffmanCoder::kTableBits);
+    }
+  }
 }
 
 }  // namespace

@@ -422,6 +422,61 @@ TEST(SerializedDataset, PersistWithoutCodecThrows) {
                std::invalid_argument);
 }
 
+// --- buffer pool ------------------------------------------------------------
+
+TEST(BufferPool, RecyclesReleasedCapacity) {
+  BufferPool pool(2);
+  std::vector<std::uint8_t> a(100, 0xab);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  auto b = pool.acquire();
+  EXPECT_EQ(b.size(), 0u);          // handed back empty...
+  EXPECT_GE(b.capacity(), 100u);    // ...but with the old allocation
+  EXPECT_EQ(pool.reuse_count(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+  // Beyond the cap, buffers are dropped instead of parked.
+  pool.release(std::vector<std::uint8_t>(8, 1));
+  pool.release(std::vector<std::uint8_t>(8, 2));
+  pool.release(std::vector<std::uint8_t>(8, 3));
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(Engine, ShuffleRecyclesEncodeBuffersThroughPool) {
+  Engine engine({.worker_threads = 2});
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 64; ++i) {
+    SamRecord r;
+    r.qname = "r" + std::to_string(i);
+    r.contig_id = 0;
+    r.pos = i;
+    r.sequence = "ACGTACGTACGTACGT";
+    r.quality = "IIIIIIIIIIIIIIII";
+    r.cigar = {{CigarOp::kMatch, 16}};
+    records.push_back(std::move(r));
+  }
+  auto ds = engine.parallelize(records, 4).with_codec(
+      core::make_sam_codec(Codec::kKryoLike));
+  auto once = ds.shuffle("pool1", 4, [](const SamRecord& r) {
+    return static_cast<std::uint64_t>(r.pos);
+  });
+  // All 4x4 encoded blocks were returned to the pool after the reduce.
+  EXPECT_EQ(engine.buffer_pool().pooled(), 16u);
+  auto twice = once.shuffle("pool2", 4, [](const SamRecord& r) {
+    return static_cast<std::uint64_t>(r.pos / 2);
+  });
+  EXPECT_GT(engine.buffer_pool().reuse_count(), 0u);
+  auto got = twice.collect();
+  std::sort(got.begin(), got.end(),
+            [](const SamRecord& a, const SamRecord& b) {
+              return a.pos < b.pos;
+            });
+  std::sort(records.begin(), records.end(),
+            [](const SamRecord& a, const SamRecord& b) {
+              return a.pos < b.pos;
+            });
+  EXPECT_EQ(got, records);
+}
+
 
 TEST(Engine, SortByProducesGlobalOrder) {
   Engine engine({.worker_threads = 2});
