@@ -23,11 +23,16 @@
 #include "cleaner/markdup.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "compress/bitio.hpp"
 #include "compress/qual_codec.hpp"
 #include "compress/record_codec.hpp"
 #include "compress/seq_codec.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+#include "formats/scan.hpp"
+#include "formats/vcf.hpp"
 #include "simdata/read_sim.hpp"
 #include "simdata/reference_gen.hpp"
 
@@ -449,6 +454,165 @@ KernelReport report_sw(const char* name, bool glocal_mode) {
   return r;
 }
 
+// --- text-parsing kernels (block-parallel front-end) -----------------------
+
+/// Synthetic FASTQ with varied read lengths (crossing 64-byte block and
+/// chunk boundaries at all phases).
+std::string synth_fastq_text(std::size_t target_bytes) {
+  Rng rng(995);
+  std::string text;
+  text.reserve(target_bytes + 512);
+  std::size_t i = 0;
+  while (text.size() < target_bytes) {
+    const std::size_t len = 80 + rng.below(73);
+    text += "@read";
+    text += std::to_string(i++);
+    text += '\n';
+    for (std::size_t k = 0; k < len; ++k) {
+      text += "ACGT"[rng.below(4)];
+    }
+    text += "\n+\n";
+    for (std::size_t k = 0; k < len; ++k) {
+      text += static_cast<char>('!' + rng.below(70));
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+KernelReport report_fastq_scan(const simd::Level fast) {
+  // Validation-only scan over >=64 MB: the parse front-end (line index,
+  // record grouping, structural + byte-range checks) without record
+  // materialization.  The reference is the deliberately byte-at-a-time
+  // parser; the fast path adds mask kernels and, past 1 MiB, the chunked
+  // ThreadPool driver.
+  const std::string text = synth_fastq_text(std::size_t{64} << 20);
+  const double bytes = static_cast<double>(text.size());
+
+  KernelReport r{"fastq_scan", "MB/s"};
+  const double base_s = seconds_per_call([&] {
+    benchmark::DoNotOptimize(gpf::detail::scan_fastq_reference(text));
+  });
+  const double fast_s = seconds_per_call([&] {
+    benchmark::DoNotOptimize(gpf::detail::scan_fastq_at(fast, text));
+  });
+  r.baseline = bytes / base_s / 1e6;
+  r.optimized = bytes / fast_s / 1e6;
+
+  r.outputs_match =
+      gpf::detail::scan_fastq_reference(text) ==
+      gpf::detail::scan_fastq_at(fast, text);
+  // Error-outcome agreement on malformed variants of the same blob.
+  const std::string bad[] = {
+      text + "@tail\nACGT\n+\nII\n",          // length mismatch
+      text + "@tail\nACGT\n+\n",              // truncated
+      text.substr(0, text.size() / 2 + 1),    // random mid-record cut
+      "\n" + text,                            // leading blank line
+  };
+  for (const auto& b : bad) {
+    std::string ref_err;
+    std::string fast_err;
+    try {
+      gpf::detail::scan_fastq_reference(b);
+    } catch (const std::invalid_argument& e) {
+      ref_err = e.what();
+    }
+    try {
+      gpf::detail::scan_fastq_at(fast, b);
+    } catch (const std::invalid_argument& e) {
+      fast_err = e.what();
+    }
+    if (ref_err != fast_err) r.outputs_match = false;
+  }
+  return r;
+}
+
+KernelReport report_sam_fields(const simd::Level fast) {
+  // Tab-splitting of SAM record lines: separator masks vs the byte-loop
+  // reference splitter.
+  Rng rng(996);
+  std::vector<std::string> lines;
+  double bytes = 0;
+  for (int i = 0; i < 40'000; ++i) {
+    std::string seq;
+    std::string qual;
+    const std::size_t len = 60 + rng.below(90);
+    for (std::size_t k = 0; k < len; ++k) {
+      seq += "ACGT"[rng.below(4)];
+      qual += static_cast<char>('!' + rng.below(70));
+    }
+    std::string line = "q" + std::to_string(i) + "\t99\tchr1\t" +
+                       std::to_string(1 + rng.below(1'000'000)) + "\t60\t" +
+                       std::to_string(len) + "M\t=\t" +
+                       std::to_string(1 + rng.below(1'000'000)) + "\t150\t" +
+                       seq + "\t" + qual;
+    bytes += static_cast<double>(line.size());
+    lines.push_back(std::move(line));
+  }
+
+  std::vector<std::string_view> fields;
+  KernelReport r{"sam_fields", "MB/s"};
+  const double base_s = seconds_per_call([&] {
+    for (const auto& line : lines) {
+      fmt::detail::split_fields_reference(line, '\t', fields);
+      benchmark::DoNotOptimize(fields.data());
+    }
+  });
+  const double fast_s = seconds_per_call([&] {
+    for (const auto& line : lines) {
+      fmt::split_fields(fast, line, '\t', fields);
+      benchmark::DoNotOptimize(fields.data());
+    }
+  });
+  r.baseline = bytes / base_s / 1e6;
+  r.optimized = bytes / fast_s / 1e6;
+
+  r.outputs_match = true;
+  std::vector<std::string_view> ref_fields;
+  for (const auto& line : lines) {
+    fmt::detail::split_fields_reference(line, '\t', ref_fields);
+    fmt::split_fields(fast, line, '\t', fields);
+    if (ref_fields != fields) r.outputs_match = false;
+  }
+  return r;
+}
+
+KernelReport report_vcf_records(const simd::Level fast) {
+  // Full VCF parse (field split + strict POS/QUAL + record build).
+  Rng rng(997);
+  std::string text =
+      "##fileformat=VCFv4.2\n##contig=<ID=chr1,length=249000000>\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\n";
+  for (int i = 0; i < 120'000; ++i) {
+    text += "chr1\t";
+    text += std::to_string(1 + rng.below(200'000'000));
+    text += rng.below(2) == 0 ? std::string("\t.\t")
+                              : "\trs" + std::to_string(i) + "\t";
+    text += "ACGT"[rng.below(4)];
+    text += '\t';
+    text += "ACGT"[rng.below(4)];
+    text += '\t';
+    text += std::to_string(rng.below(4000));
+    text += "\tPASS\t.\tGT\t0/1\n";
+  }
+  const double bytes = static_cast<double>(text.size());
+
+  KernelReport r{"vcf_records", "MB/s"};
+  const double base_s = seconds_per_call([&] {
+    benchmark::DoNotOptimize(gpf::detail::parse_vcf_reference(text));
+  });
+  const double fast_s = seconds_per_call([&] {
+    benchmark::DoNotOptimize(gpf::detail::parse_vcf_at(fast, text));
+  });
+  r.baseline = bytes / base_s / 1e6;
+  r.optimized = bytes / fast_s / 1e6;
+
+  const VcfFile a = gpf::detail::parse_vcf_reference(text);
+  const VcfFile b = gpf::detail::parse_vcf_at(fast, text);
+  r.outputs_match = a == b;
+  return r;
+}
+
 int run_json_harness(const std::string& path) {
   const simd::Level fast = simd::active_level();
   std::vector<KernelReport> reports;
@@ -457,6 +621,9 @@ int run_json_harness(const std::string& path) {
   reports.push_back(report_qual_decode(fast));
   reports.push_back(report_sw("sw_banded_global", /*glocal_mode=*/false));
   reports.push_back(report_sw("sw_glocal", /*glocal_mode=*/true));
+  reports.push_back(report_fastq_scan(fast));
+  reports.push_back(report_sam_fields(fast));
+  reports.push_back(report_vcf_records(fast));
 
   std::ofstream out(path);
   if (!out) {
@@ -465,7 +632,8 @@ int run_json_harness(const std::string& path) {
   }
   char buf[256];
   out << "{\n  \"simd_level\": \"" << simd::level_name(fast)
-      << "\",\n  \"kernels\": [\n";
+      << "\",\n  \"threads\": " << ThreadPool::global().size()
+      << ",\n  \"kernels\": [\n";
   bool all_match = true;
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const KernelReport& r = reports[i];

@@ -96,4 +96,29 @@ inline constexpr std::uint64_t eq_lanes(std::uint64_t v, std::uint8_t b) {
   return zero_lanes(v ^ broadcast(b));
 }
 
+/// 0x80 in every lane whose byte is (unsigned) less than `b`.  Valid for
+/// b in [1, 128].  Uses the carry-free Bit Twiddling Hacks "countless"
+/// form — the cheaper "hasless" form lets a borrow bleed into the next
+/// lane when a low lane underflows, corrupting its neighbor's bit.
+inline constexpr std::uint64_t lt_lanes(std::uint64_t v, std::uint8_t b) {
+  return (broadcast(static_cast<std::uint8_t>(127 + b)) - (v & ~kLaneMsb)) &
+         ~v & kLaneMsb;
+}
+
+/// 0x80 in every lane whose byte is (unsigned) greater than `b`.  Valid
+/// for b in [0, 127].  Carry-free "countmore" form, for the same reason.
+inline constexpr std::uint64_t gt_lanes(std::uint64_t v, std::uint8_t b) {
+  return (((v & ~kLaneMsb) + broadcast(static_cast<std::uint8_t>(127 - b))) |
+          v) &
+         kLaneMsb;
+}
+
+/// Compresses a lane mask (0x80 per flagged lane, as produced by eq_lanes
+/// and friends) into one bit per lane: bit i set iff lane i was flagged.
+/// The SWAR analogue of SSE's movemask.
+inline constexpr std::uint8_t movemask_lanes(std::uint64_t lane_mask) {
+  return static_cast<std::uint8_t>(
+      ((lane_mask & kLaneMsb) * 0x0002040810204081ULL) >> 56);
+}
+
 }  // namespace gpf::simd

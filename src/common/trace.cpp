@@ -75,6 +75,8 @@ const char* span_category(SpanKind kind) {
       return "shuffle_deser";
     case SpanKind::kProcess:
       return "process";
+    case SpanKind::kParse:
+      return "parse";
     case SpanKind::kSimStage:
       return "sim_stage";
     case SpanKind::kSimTask:

@@ -39,6 +39,7 @@ enum class SpanKind : std::uint8_t {
   kShuffleSer,    // shuffle-block serialization inside a map task
   kShuffleDeser,  // shuffle-block deserialization inside a reduce task
   kProcess,       // one Process-level DAG node (core/pipeline)
+  kParse,         // a text-format parse (FASTQ/SAM/VCF ingest)
   kSimStage,      // a stage on the simulated cluster (virtual time)
   kSimTask,       // a task on the simulated cluster (virtual time)
 };

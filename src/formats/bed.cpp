@@ -4,31 +4,11 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+#include "formats/scan.hpp"
+
 namespace gpf {
 namespace {
-
-std::string_view next_line(std::string_view text, std::size_t& i) {
-  std::size_t eol = text.find('\n', i);
-  if (eol == std::string_view::npos) eol = text.size();
-  std::string_view line = text.substr(i, eol - i);
-  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-  i = eol + 1;
-  return line;
-}
-
-std::vector<std::string_view> split_tabs(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t tab = line.find('\t', start);
-    if (tab == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      return fields;
-    }
-    fields.push_back(line.substr(start, tab - start));
-    start = tab + 1;
-  }
-}
 
 std::int64_t to_i64(std::string_view s) {
   std::int64_t v = 0;
@@ -81,15 +61,17 @@ bool IntervalSet::overlaps(std::int32_t contig_id, std::int64_t start,
 
 std::vector<BedInterval> parse_bed(std::string_view text,
                                    const SamHeader& header) {
+  const simd::Level level = simd::active_level();
+  const fmt::LineIndex lines(level, text);
   std::vector<BedInterval> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    const std::string_view line = next_line(text, i);
+  std::vector<std::string_view> fields;
+  for (std::size_t i = 0; i < lines.line_count(); ++i) {
+    const std::string_view line = lines.line(i);
     if (line.empty() || line.front() == '#' || line.starts_with("track") ||
         line.starts_with("browser")) {
       continue;
     }
-    const auto fields = split_tabs(line);
+    fmt::split_fields(level, line, '\t', fields);
     if (fields.size() < 3) throw std::invalid_argument("BED: short line");
     BedInterval iv;
     iv.contig_id = header.find_contig(fields[0]);

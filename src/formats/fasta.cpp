@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/simd.hpp"
+#include "formats/scan.hpp"
+
 namespace gpf {
 namespace {
 
@@ -53,32 +56,27 @@ std::string_view Reference::slice(std::int32_t id, std::int64_t pos,
 }
 
 Reference parse_fasta(std::string_view text) {
+  const fmt::LineIndex lines(simd::active_level(), text);
   std::vector<FastaContig> contigs;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    std::size_t eol = text.find('\n', i);
-    if (eol == std::string_view::npos) eol = text.size();
-    std::string_view line = text.substr(i, eol - i);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty()) {
-      if (line.front() == '>') {
-        // Header line: name is the first whitespace-delimited token.
-        std::string_view header = line.substr(1);
-        const std::size_t sp = header.find_first_of(" \t");
-        contigs.push_back(
-            {std::string(sp == std::string_view::npos ? header
-                                                      : header.substr(0, sp)),
-             {}});
-      } else {
-        if (contigs.empty()) {
-          throw std::invalid_argument("FASTA: sequence before header");
-        }
-        auto& seq = contigs.back().sequence;
-        seq.reserve(seq.size() + line.size());
-        for (const char c : line) seq.push_back(normalize_base(c));
+  for (std::size_t i = 0; i < lines.line_count(); ++i) {
+    const std::string_view line = lines.line(i);
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      // Header line: name is the first whitespace-delimited token.
+      std::string_view header = line.substr(1);
+      const std::size_t sp = header.find_first_of(" \t");
+      contigs.push_back(
+          {std::string(sp == std::string_view::npos ? header
+                                                    : header.substr(0, sp)),
+           {}});
+    } else {
+      if (contigs.empty()) {
+        throw std::invalid_argument("FASTA: sequence before header");
       }
+      auto& seq = contigs.back().sequence;
+      seq.reserve(seq.size() + line.size());
+      for (const char c : line) seq.push_back(normalize_base(c));
     }
-    i = eol + 1;
   }
   return Reference(std::move(contigs));
 }

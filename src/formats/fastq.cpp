@@ -1,46 +1,285 @@
 #include "formats/fastq.hpp"
 
+#include <mutex>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpf {
 namespace {
 
+// Every structural error, shared verbatim by the reference and fast paths
+// so the differential fuzz suite can assert message equality.
+constexpr const char* kErrBlank = "FASTQ: blank line between records";
+constexpr const char* kErrHeader = "FASTQ: expected '@' header";
+constexpr const char* kErrTruncated = "FASTQ: truncated record";
+constexpr const char* kErrSeparator = "FASTQ: expected '+' separator";
+constexpr const char* kErrSepName =
+    "FASTQ: '+' line repeats a different header";
+constexpr const char* kErrLength = "FASTQ: sequence/quality length mismatch";
+constexpr const char* kErrHeaderByte = "FASTQ: non-ASCII byte in header";
+constexpr const char* kErrSeqByte = "FASTQ: non-ASCII byte in sequence";
+constexpr const char* kErrQualByte = "FASTQ: quality character out of range";
+
 /// Returns the next line of `text` starting at `i`, advancing `i` past the
-/// newline.  CR is stripped.
+/// newline.  CR is stripped.  Deliberately byte-at-a-time: this is the
+/// reference parser's line splitter, the baseline the block kernels are
+/// benchmarked against.
 std::string_view next_line(std::string_view text, std::size_t& i) {
-  std::size_t eol = text.find('\n', i);
-  if (eol == std::string_view::npos) eol = text.size();
+  std::size_t eol = i;
+  while (eol < text.size() && text[eol] != '\n') ++eol;
   std::string_view line = text.substr(i, eol - i);
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   i = eol + 1;
   return line;
 }
 
-}  // namespace
+/// Structural checks shared by both paths; returns nullptr or the error
+/// message.  Byte-range checks follow separately (the two paths find bad
+/// bytes differently but in the same order).
+const char* check_fastq_structure(std::string_view header,
+                                  std::string_view seq, std::string_view sep,
+                                  std::string_view qual) {
+  if (header.empty()) return kErrBlank;
+  if (header.front() != '@') return kErrHeader;
+  if (sep.empty() || sep.front() != '+') return kErrSeparator;
+  if (sep.size() > 1 && sep.substr(1) != header.substr(1)) return kErrSepName;
+  if (seq.size() != qual.size()) return kErrLength;
+  return nullptr;
+}
 
-std::vector<FastqRecord> parse_fastq(std::string_view text) {
-  std::vector<FastqRecord> records;
+/// Record validation shared by the reference parser and the one-record
+/// entry point; returns nullptr or the error message.  `byte_loop`
+/// selects the unoptimized per-byte range check (the reference parser)
+/// over the block-mask one.
+const char* check_fastq_record(simd::Level level, bool byte_loop,
+                               std::string_view header, std::string_view seq,
+                               std::string_view sep, std::string_view qual) {
+  if (const char* err = check_fastq_structure(header, seq, sep, qual)) {
+    return err;
+  }
+  const auto in_range = [&](std::string_view s, std::uint8_t lo,
+                            std::uint8_t hi) {
+    return byte_loop ? fmt::detail::bytes_in_range_reference(s, lo, hi)
+                     : fmt::bytes_in_range(level, s, lo, hi);
+  };
+  // Headers may carry a description, so space is legal there; sequence and
+  // quality must be printable non-space ASCII ([33, 126] — the Phred range).
+  if (!in_range(header.substr(1), 0x20, 0x7E)) return kErrHeaderByte;
+  if (!in_range(seq, 0x21, 0x7E)) return kErrSeqByte;
+  if (!in_range(qual, static_cast<std::uint8_t>(kPhredBase),
+                static_cast<std::uint8_t>(kPhredMax))) {
+    return kErrQualByte;
+  }
+  return nullptr;
+}
+
+/// Byte-at-a-time parse/scan (records and stats optional).
+void run_fastq_reference(std::string_view text,
+                         std::vector<FastqRecord>* records,
+                         FastqScanStats* stats) {
   std::size_t i = 0;
   while (i < text.size()) {
     const std::string_view header = next_line(text, i);
-    if (header.empty()) continue;  // tolerate blank trailing lines
-    if (header.front() != '@') {
-      throw std::invalid_argument("FASTQ: expected '@' header");
+    if (header.empty()) {
+      // A blank line is legal only when every remaining line is blank
+      // (trailing blanks); a blank *between* records is an error.
+      std::size_t j = i;
+      while (j < text.size()) {
+        if (!next_line(text, j).empty()) {
+          throw std::invalid_argument(kErrBlank);
+        }
+      }
+      break;
     }
-    if (i >= text.size()) throw std::invalid_argument("FASTQ: truncated");
+    if (header.front() != '@') throw std::invalid_argument(kErrHeader);
+    if (i >= text.size()) throw std::invalid_argument(kErrTruncated);
     const std::string_view seq = next_line(text, i);
+    if (i >= text.size()) throw std::invalid_argument(kErrTruncated);
     const std::string_view sep = next_line(text, i);
+    if (i >= text.size()) throw std::invalid_argument(kErrTruncated);
     const std::string_view qual = next_line(text, i);
-    if (sep.empty() || sep.front() != '+') {
-      throw std::invalid_argument("FASTQ: expected '+' separator");
+    const char* err = check_fastq_record(simd::Level::kScalar,
+                                         /*byte_loop=*/true, header, seq, sep,
+                                         qual);
+    if (err != nullptr) throw std::invalid_argument(err);
+    if (records != nullptr) {
+      records->push_back({std::string(header.substr(1)), std::string(seq),
+                          std::string(qual)});
     }
-    if (seq.size() != qual.size()) {
-      throw std::invalid_argument("FASTQ: sequence/quality length mismatch");
+    if (stats != nullptr) {
+      ++stats->records;
+      stats->bases += seq.size();
     }
-    records.push_back({std::string(header.substr(1)), std::string(seq),
-                       std::string(qual)});
   }
+}
+
+/// Block-parallel parse/scan over the LineIndex.  Lines group into 4-line
+/// records positionally, so every group validates independently; groups
+/// run through ThreadPool::parallel_for on large inputs and the earliest
+/// non-OK group decides the outcome, matching the sequential reference.
+void run_fastq_fast(simd::Level level, std::string_view text,
+                    std::size_t parallel_threshold,
+                    std::vector<FastqRecord>* records, FastqScanStats* stats) {
+  trace::ScopedSpan span(records != nullptr ? "parse_fastq" : "scan_fastq",
+                         trace::SpanKind::kParse);
+  // Single sweep: newline index + sparse byte-class lists.  Per-record
+  // range validation is then binary searches over the (normally empty)
+  // lists, not a second pass over the record's bytes.
+  fmt::AsciiProfile profile;
+  const fmt::LineIndex lines(level, text, parallel_threshold, &profile);
+  const std::size_t n = lines.line_count();
+  const std::size_t full = n / 4;
+  const std::size_t rem = n % 4;
+  const std::size_t groups = full + (rem != 0 ? 1 : 0);
+
+  if (records != nullptr) records->assign(full, {});
+  std::vector<std::uint32_t> base_len(stats != nullptr ? full : 0, 0);
+
+  // Earliest non-OK group: kStop marks the start of the trailing blank
+  // run (legal; truncates the record list), an error message marks a
+  // malformed group (throws).
+  std::mutex mu;
+  std::size_t first_marked = static_cast<std::size_t>(-1);
+  const char* first_error = nullptr;
+  const auto note = [&](std::size_t g, const char* err) {
+    std::lock_guard lock(mu);
+    if (g < first_marked) {
+      first_marked = g;
+      first_error = err;
+    }
+  };
+
+  // Stripped length of line i, resolved from the newline table and the CR
+  // position list — no text bytes are read.
+  const auto line_len = [&](std::size_t i) {
+    const std::size_t s = lines.line_start(i);
+    std::size_t e = lines.line_raw_end(i);
+    if (e > s && fmt::any_position_in(profile.carriage, e - 1, e)) --e;
+    return e - s;
+  };
+
+  // The happy path runs entirely on the sweep's side tables (line starts,
+  // head bytes, sparse byte-class lists); the record's own bytes are only
+  // touched again to materialize strings or on the rare '+'-repeats-header
+  // line.  Checks replicate check_fastq_record's order exactly.
+  const auto do_group = [&](std::size_t g) {
+    const std::size_t hlen = line_len(4 * g);
+    if (hlen == 0) {
+      for (std::size_t j = 4 * g + 1; j < n; ++j) {
+        if (line_len(j) != 0) return note(g, kErrBlank);
+      }
+      return note(g, nullptr);  // trailing blank run: stop marker
+    }
+    if (lines.line_head(4 * g) != '@') return note(g, kErrHeader);
+    if (g == full) return note(g, kErrTruncated);  // partial group: 1-3 lines
+    const std::size_t slen = line_len(4 * g + 1);
+    const std::size_t plen = line_len(4 * g + 2);
+    const std::size_t qlen = line_len(4 * g + 3);
+    if (plen == 0 || lines.line_head(4 * g + 2) != '+') {
+      return note(g, kErrSeparator);
+    }
+    if (plen > 1 &&
+        lines.line(4 * g + 2).substr(1) != lines.line(4 * g).substr(1)) {
+      return note(g, kErrSepName);
+    }
+    if (slen != qlen) return note(g, kErrLength);
+    // Byte ranges via the profile: header allows space ([0x20, 0x7E]);
+    // sequence and quality are the same range minus space ([0x21, 0x7E]
+    // == the Phred range).
+    const std::size_t h = lines.line_start(4 * g);
+    const std::size_t s0 = lines.line_start(4 * g + 1);
+    const std::size_t q0 = lines.line_start(4 * g + 3);
+    if (fmt::any_position_in(profile.violations, h + 1, h + hlen)) {
+      return note(g, kErrHeaderByte);
+    }
+    if (fmt::any_position_in(profile.violations, s0, s0 + slen) ||
+        fmt::any_position_in(profile.spaces, s0, s0 + slen)) {
+      return note(g, kErrSeqByte);
+    }
+    if (fmt::any_position_in(profile.violations, q0, q0 + qlen) ||
+        fmt::any_position_in(profile.spaces, q0, q0 + qlen)) {
+      return note(g, kErrQualByte);
+    }
+    if (records != nullptr) {
+      (*records)[g] = {std::string(text.substr(h + 1, hlen - 1)),
+                       std::string(text.substr(s0, slen)),
+                       std::string(text.substr(q0, qlen))};
+    }
+    if (stats != nullptr) {
+      base_len[g] = static_cast<std::uint32_t>(slen);
+    }
+  };
+
+  if (text.size() >= parallel_threshold) {
+    ThreadPool::global().parallel_for(groups, do_group);
+  } else {
+    for (std::size_t g = 0; g < groups; ++g) {
+      do_group(g);
+      if (first_marked != static_cast<std::size_t>(-1)) break;
+    }
+  }
+
+  std::size_t limit = full;
+  if (first_marked != static_cast<std::size_t>(-1)) {
+    if (first_error != nullptr) throw std::invalid_argument(first_error);
+    limit = first_marked;
+  }
+  if (records != nullptr) records->resize(limit);
+  if (stats != nullptr) {
+    stats->records = limit;
+    for (std::size_t g = 0; g < limit; ++g) stats->bases += base_len[g];
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void validate_fastq_record(simd::Level level, std::string_view header,
+                           std::string_view seq, std::string_view sep,
+                           std::string_view qual) {
+  const char* err =
+      check_fastq_record(level, /*byte_loop=*/false, header, seq, sep, qual);
+  if (err != nullptr) throw std::invalid_argument(err);
+}
+
+std::vector<FastqRecord> parse_fastq_reference(std::string_view text) {
+  std::vector<FastqRecord> records;
+  run_fastq_reference(text, &records, nullptr);
   return records;
+}
+
+FastqScanStats scan_fastq_reference(std::string_view text) {
+  FastqScanStats stats;
+  run_fastq_reference(text, nullptr, &stats);
+  return stats;
+}
+
+std::vector<FastqRecord> parse_fastq_at(simd::Level level,
+                                        std::string_view text,
+                                        std::size_t parallel_threshold) {
+  std::vector<FastqRecord> records;
+  run_fastq_fast(level, text, parallel_threshold, &records, nullptr);
+  return records;
+}
+
+FastqScanStats scan_fastq_at(simd::Level level, std::string_view text,
+                             std::size_t parallel_threshold) {
+  FastqScanStats stats;
+  run_fastq_fast(level, text, parallel_threshold, nullptr, &stats);
+  return stats;
+}
+
+}  // namespace detail
+
+std::vector<FastqRecord> parse_fastq(std::string_view text) {
+  return detail::parse_fastq_at(simd::active_level(), text);
+}
+
+FastqScanStats scan_fastq(std::string_view text) {
+  return detail::scan_fastq_at(simd::active_level(), text);
 }
 
 std::string write_fastq(const std::vector<FastqRecord>& records) {

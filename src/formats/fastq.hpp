@@ -6,6 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
+#include "formats/scan.hpp"
+
 namespace gpf {
 
 /// Sanger Phred+33 quality encoding bounds.  The paper notes a "normal
@@ -30,9 +33,25 @@ struct FastqPair {
   bool operator==(const FastqPair&) const = default;
 };
 
-/// Parses 4-line FASTQ text.  Throws std::invalid_argument on structural
-/// errors (bad separators, quality/sequence length mismatch).
+/// Parses 4-line FASTQ text with the block-parallel scanner.  Strict:
+/// throws std::invalid_argument on bad separators, a repeated '+' header
+/// that differs from the '@' header, sequence/quality length mismatch,
+/// truncated final records, blank lines *between* records (trailing blank
+/// lines are tolerated), and control/non-ASCII bytes.  CRLF endings are
+/// accepted; a CR-only file is a byte-range error (the CR lands inside a
+/// line).
 std::vector<FastqRecord> parse_fastq(std::string_view text);
+
+/// Structural statistics from a validation-only scan (no record
+/// materialization): the parse front-end without its allocation cost.
+/// Throws exactly when parse_fastq would.
+struct FastqScanStats {
+  std::size_t records = 0;
+  std::size_t bases = 0;
+
+  bool operator==(const FastqScanStats&) const = default;
+};
+FastqScanStats scan_fastq(std::string_view text);
 
 /// Renders records to 4-line FASTQ text.
 std::string write_fastq(const std::vector<FastqRecord>& records);
@@ -40,5 +59,33 @@ std::string write_fastq(const std::vector<FastqRecord>& records);
 /// Zips two mate files into pairs; throws if lengths differ.
 std::vector<FastqPair> zip_pairs(std::vector<FastqRecord> first,
                                  std::vector<FastqRecord> second);
+
+namespace detail {
+
+/// Byte-at-a-time parser: the reference implementation the fast path is
+/// differential-tested and benchmarked against.  Same strict semantics.
+std::vector<FastqRecord> parse_fastq_reference(std::string_view text);
+FastqScanStats scan_fastq_reference(std::string_view text);
+
+/// Block-parallel parser with an explicit dispatch level (the public
+/// functions pass simd::active_level()).  `parallel_threshold` is the
+/// input size at which the chunked ThreadPool driver engages; tests pass
+/// a tiny value to exercise cross-chunk record stitching on small blobs.
+std::vector<FastqRecord> parse_fastq_at(
+    simd::Level level, std::string_view text,
+    std::size_t parallel_threshold = fmt::kParallelParseBytes);
+FastqScanStats scan_fastq_at(
+    simd::Level level, std::string_view text,
+    std::size_t parallel_threshold = fmt::kParallelParseBytes);
+
+/// Validates one 4-line record (shared by the reference and fast paths so
+/// both throw identical messages).  Check order: '@' header, '+'
+/// separator, separator/header name agreement, length agreement, byte
+/// ranges.
+void validate_fastq_record(simd::Level level, std::string_view header,
+                           std::string_view seq, std::string_view sep,
+                           std::string_view qual);
+
+}  // namespace detail
 
 }  // namespace gpf

@@ -9,7 +9,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "formats/cigar.hpp"
+#include "formats/scan.hpp"
 
 namespace gpf {
 
@@ -85,8 +87,37 @@ struct SamHeader {
 struct SamFile {
   SamHeader header;
   std::vector<SamRecord> records;
+
+  bool operator==(const SamFile&) const = default;
 };
 SamFile parse_sam(std::string_view text);
+
+namespace detail {
+
+/// Byte-at-a-time parser: the reference implementation the block-parallel
+/// fast path is differential-tested and benchmarked against.
+SamFile parse_sam_reference(std::string_view text);
+
+/// Block-parallel parser with an explicit dispatch level: tab-separator
+/// masks split fields, record lines parse concurrently once the input
+/// crosses `parallel_threshold` bytes.  Inputs whose "@" header lines are
+/// interleaved with records fall back to the reference parser so ordering
+/// semantics stay identical.
+SamFile parse_sam_at(simd::Level level, std::string_view text,
+                     std::size_t parallel_threshold = fmt::kParallelParseBytes);
+
+/// Parses one "@..." header line's fields into `header` (shared by both
+/// paths so messages match).
+void parse_sam_header_line(const std::vector<std::string_view>& fields,
+                           SamHeader& header);
+
+/// Parses one alignment line's tab-split fields against `header` (shared
+/// by both paths so messages match).
+SamRecord parse_sam_record(simd::Level level,
+                           const std::vector<std::string_view>& fields,
+                           const SamHeader& header);
+
+}  // namespace detail
 
 /// Renders header + records to SAM text.
 std::string write_sam(const SamHeader& header,

@@ -2,28 +2,20 @@
 
 #include <charconv>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpf {
 namespace {
 
-std::vector<std::string_view> split_tabs(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t tab = line.find('\t', start);
-    if (tab == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      return fields;
-    }
-    fields.push_back(line.substr(start, tab - start));
-    start = tab + 1;
-  }
-}
-
+// Byte-at-a-time on purpose: the reference parser is the benchmarking and
+// differential-testing baseline for the block kernels.
 std::string_view next_line(std::string_view text, std::size_t& i) {
-  std::size_t eol = text.find('\n', i);
-  if (eol == std::string_view::npos) eol = text.size();
+  std::size_t eol = i;
+  while (eol < text.size() && text[eol] != '\n') ++eol;
   std::string_view line = text.substr(i, eol - i);
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   i = eol + 1;
@@ -42,80 +34,194 @@ const char* genotype_string(Genotype g) {
   return "./.";
 }
 
+/// Finds `name` in the contig dictionary, synthesizing an id in order of
+/// appearance when absent (tolerates files without ##contig lines).
+std::int32_t resolve_contig(VcfHeader& header, std::string_view name) {
+  for (std::size_t c = 0; c < header.contigs.size(); ++c) {
+    if (header.contigs[c].name == name) return static_cast<std::int32_t>(c);
+  }
+  header.contigs.push_back({std::string(name), 0});
+  return static_cast<std::int32_t>(header.contigs.size() - 1);
+}
+
+void apply_chrom_line(const std::vector<std::string_view>& fields,
+                      VcfHeader& header) {
+  if (fields.size() >= 10) header.sample_name = std::string(fields[9]);
+}
+
 }  // namespace
 
-VcfFile parse_vcf(std::string_view text) {
+namespace detail {
+
+void parse_vcf_meta_line(std::string_view line, VcfHeader& header) {
+  // ##contig=<ID=name,length=N>; every other ## line is ignored.
+  if (!line.starts_with("##contig=<")) return;
+  SamHeader::ContigInfo info;
+  std::string_view body = line.substr(10);
+  if (!body.empty() && body.back() == '>') body.remove_suffix(1);
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t comma = body.find(',', start);
+    if (comma == std::string_view::npos) comma = body.size();
+    const std::string_view kv = body.substr(start, comma - start);
+    if (kv.starts_with("ID=")) info.name = std::string(kv.substr(3));
+    if (kv.starts_with("length=")) {
+      std::int64_t v = 0;
+      std::from_chars(kv.data() + 7, kv.data() + kv.size(), v);
+      info.length = v;
+    }
+    start = comma + 1;
+  }
+  header.contigs.push_back(std::move(info));
+}
+
+VcfRecord parse_vcf_record(simd::Level level,
+                           const std::vector<std::string_view>& fields) {
+  if (fields.size() < 8) throw std::invalid_argument("VCF: short record");
+  VcfRecord rec;
+  std::int64_t pos1 = 0;
+  const auto [pp, pec] = std::from_chars(
+      fields[1].data(), fields[1].data() + fields[1].size(), pos1);
+  if (pec != std::errc() || pp != fields[1].data() + fields[1].size()) {
+    throw std::invalid_argument("VCF: bad POS");
+  }
+  rec.pos = pos1 - 1;
+  rec.id = std::string(fields[2]);
+  if (!fmt::bytes_in_range(level, fields[3], 0x21, 0x7E)) {
+    throw std::invalid_argument("VCF: non-ASCII byte in REF");
+  }
+  rec.ref = std::string(fields[3]);
+  if (!fmt::bytes_in_range(level, fields[4], 0x21, 0x7E)) {
+    throw std::invalid_argument("VCF: non-ASCII byte in ALT");
+  }
+  rec.alt = std::string(fields[4]);
+  if (rec.alt.find(',') != std::string::npos) {
+    throw std::invalid_argument("VCF: multi-allelic sites unsupported");
+  }
+  if (fields[5] != ".") {
+    double q = 0.0;
+    const auto [qp, qec] = std::from_chars(
+        fields[5].data(), fields[5].data() + fields[5].size(), q);
+    if (qec != std::errc() || qp != fields[5].data() + fields[5].size()) {
+      throw std::invalid_argument("VCF: bad QUAL");
+    }
+    rec.qual = q;
+  }
+  if (fields.size() >= 10) {
+    const std::string_view gt = fields[9].substr(0, 3);
+    if (gt == "0/0") rec.genotype = Genotype::kHomRef;
+    else if (gt == "1/1") rec.genotype = Genotype::kHomAlt;
+    else rec.genotype = Genotype::kHet;
+  }
+  return rec;
+}
+
+VcfFile parse_vcf_reference(std::string_view text) {
   VcfFile file;
+  std::vector<std::string_view> fields;
   std::size_t i = 0;
   while (i < text.size()) {
     const std::string_view line = next_line(text, i);
     if (line.empty()) continue;
     if (line.starts_with("##")) {
-      // ##contig=<ID=name,length=N>
-      if (line.starts_with("##contig=<")) {
-        SamHeader::ContigInfo info;
-        std::string_view body = line.substr(10);
-        if (!body.empty() && body.back() == '>') body.remove_suffix(1);
-        std::size_t start = 0;
-        while (start <= body.size()) {
-          std::size_t comma = body.find(',', start);
-          if (comma == std::string_view::npos) comma = body.size();
-          const std::string_view kv = body.substr(start, comma - start);
-          if (kv.starts_with("ID=")) info.name = std::string(kv.substr(3));
-          if (kv.starts_with("length=")) {
-            std::int64_t v = 0;
-            std::from_chars(kv.data() + 7, kv.data() + kv.size(), v);
-            info.length = v;
-          }
-          start = comma + 1;
-        }
-        file.header.contigs.push_back(std::move(info));
-      }
+      parse_vcf_meta_line(line, file.header);
       continue;
     }
     if (line.starts_with("#CHROM")) {
-      const auto fields = split_tabs(line);
-      if (fields.size() >= 10) file.header.sample_name = fields[9];
+      fmt::detail::split_fields_reference(line, '\t', fields);
+      apply_chrom_line(fields, file.header);
       continue;
     }
-    const auto fields = split_tabs(line);
-    if (fields.size() < 8) throw std::invalid_argument("VCF: short record");
-    VcfRecord rec;
-    rec.contig_id = -1;
-    for (std::size_t c = 0; c < file.header.contigs.size(); ++c) {
-      if (file.header.contigs[c].name == fields[0]) {
-        rec.contig_id = static_cast<std::int32_t>(c);
-        break;
-      }
-    }
-    if (rec.contig_id < 0) {
-      // Tolerate files without ##contig lines: synthesize ids in order of
-      // appearance.
-      file.header.contigs.push_back({std::string(fields[0]), 0});
-      rec.contig_id = static_cast<std::int32_t>(file.header.contigs.size() - 1);
-    }
-    std::int64_t pos1 = 0;
-    std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(),
-                    pos1);
-    rec.pos = pos1 - 1;
-    rec.id = std::string(fields[2]);
-    rec.ref = std::string(fields[3]);
-    rec.alt = std::string(fields[4]);
-    if (rec.alt.find(',') != std::string::npos) {
-      throw std::invalid_argument("VCF: multi-allelic sites unsupported");
-    }
-    if (fields[5] != ".") {
-      rec.qual = std::strtod(std::string(fields[5]).c_str(), nullptr);
-    }
-    if (fields.size() >= 10) {
-      const std::string_view gt = fields[9].substr(0, 3);
-      if (gt == "0/0") rec.genotype = Genotype::kHomRef;
-      else if (gt == "1/1") rec.genotype = Genotype::kHomAlt;
-      else rec.genotype = Genotype::kHet;
-    }
+    fmt::detail::split_fields_reference(line, '\t', fields);
+    VcfRecord rec = parse_vcf_record(simd::Level::kScalar, fields);
+    rec.contig_id = resolve_contig(file.header, fields[0]);
     file.records.push_back(std::move(rec));
   }
   return file;
+}
+
+VcfFile parse_vcf_at(simd::Level level, std::string_view text,
+                     std::size_t parallel_threshold) {
+  trace::ScopedSpan span("parse_vcf", trace::SpanKind::kParse);
+  const fmt::LineIndex lines(level, text, parallel_threshold);
+  const std::size_t n = lines.line_count();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Classify lines.  "##" metadata and the "#CHROM" column line must all
+  // precede data lines for batch parsing (a late ##contig line would
+  // change id assignment mid-file); otherwise fall back to the reference
+  // parser.  A lone "#..." line that is neither is data, as in the
+  // reference.
+  std::vector<std::uint32_t> record_lines;
+  record_lines.reserve(n);
+  std::size_t first_record = kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view line = lines.line(i);
+    if (line.empty()) continue;
+    if (line.starts_with("##") || line.starts_with("#CHROM")) {
+      if (first_record != kNone) return parse_vcf_reference(text);
+    } else {
+      if (first_record == kNone) first_record = i;
+      record_lines.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  VcfFile file;
+  std::vector<std::string_view> header_fields;
+  const std::size_t header_end = first_record == kNone ? n : first_record;
+  for (std::size_t i = 0; i < header_end; ++i) {
+    const std::string_view line = lines.line(i);
+    if (line.empty()) continue;
+    if (line.starts_with("##")) {
+      parse_vcf_meta_line(line, file.header);
+    } else {
+      fmt::split_fields(level, line, '\t', header_fields);
+      apply_chrom_line(header_fields, file.header);
+    }
+  }
+
+  const std::size_t count = record_lines.size();
+  file.records.assign(count, {});
+  std::vector<std::string_view> contig_names(count);
+  std::mutex mu;
+  std::size_t first_bad = kNone;
+  std::string first_error;
+  const auto do_record = [&](std::size_t k) {
+    static thread_local std::vector<std::string_view> fields;
+    try {
+      fmt::split_fields(level, lines.line(record_lines[k]), '\t', fields);
+      file.records[k] = parse_vcf_record(level, fields);
+      contig_names[k] = fields[0];
+    } catch (const std::invalid_argument& e) {
+      std::lock_guard lock(mu);
+      if (k < first_bad) {
+        first_bad = k;
+        first_error = e.what();
+      }
+    }
+  };
+  if (text.size() >= parallel_threshold) {
+    ThreadPool::global().parallel_for(count, do_record);
+  } else {
+    for (std::size_t k = 0; k < count; ++k) {
+      do_record(k);
+      if (first_bad != kNone) break;
+    }
+  }
+  if (first_bad != kNone) throw std::invalid_argument(first_error);
+
+  // Contig resolution is sequential so synthesized ids keep appearance
+  // order, exactly as the reference assigns them.
+  for (std::size_t k = 0; k < count; ++k) {
+    file.records[k].contig_id = resolve_contig(file.header, contig_names[k]);
+  }
+  return file;
+}
+
+}  // namespace detail
+
+VcfFile parse_vcf(std::string_view text) {
+  return detail::parse_vcf_at(simd::active_level(), text);
 }
 
 std::string write_vcf(const VcfHeader& header,

@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "formats/sam.hpp"
+#include "formats/scan.hpp"
 
 namespace gpf {
 
@@ -39,16 +41,45 @@ struct VcfRecord {
 struct VcfHeader {
   std::vector<SamHeader::ContigInfo> contigs;
   std::string sample_name = "SAMPLE";
+
+  bool operator==(const VcfHeader&) const = default;
 };
 
 struct VcfFile {
   VcfHeader header;
   std::vector<VcfRecord> records;
+
+  bool operator==(const VcfFile&) const = default;
 };
 
 /// Parses VCF text.  Only single-allele sites are supported (matching the
-/// simulator's output); multi-allelic rows raise std::invalid_argument.
+/// simulator's output); multi-allelic rows raise std::invalid_argument, as
+/// do a non-numeric POS, a non-numeric QUAL (other than "."), a record
+/// with fewer than 8 fields, and non-ASCII bytes in REF/ALT.
 VcfFile parse_vcf(std::string_view text);
+
+namespace detail {
+
+/// Byte-at-a-time parser: the reference implementation the block-parallel
+/// fast path is differential-tested and benchmarked against.
+VcfFile parse_vcf_reference(std::string_view text);
+
+/// Block-parallel parser with an explicit dispatch level.  Record lines
+/// parse concurrently (contig ids resolve in a sequential second pass so
+/// synthesized ids keep appearance order); inputs with "##"/"#CHROM" lines
+/// after the first record fall back to the reference parser.
+VcfFile parse_vcf_at(simd::Level level, std::string_view text,
+                     std::size_t parallel_threshold = fmt::kParallelParseBytes);
+
+/// Applies one "##..." metadata line to `header` (shared by both paths).
+void parse_vcf_meta_line(std::string_view line, VcfHeader& header);
+
+/// Parses one data line's tab-split fields into a record with contig_id
+/// left unresolved (-1); shared by both paths so messages match.
+VcfRecord parse_vcf_record(simd::Level level,
+                           const std::vector<std::string_view>& fields);
+
+}  // namespace detail
 
 /// Renders header + records to VCF 4.2 text.
 std::string write_vcf(const VcfHeader& header,

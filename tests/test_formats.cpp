@@ -2,15 +2,34 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "formats/cigar.hpp"
 #include "formats/fasta.hpp"
 #include "formats/bed.hpp"
 #include "formats/fastq.hpp"
 #include "formats/sam.hpp"
+#include "formats/scan.hpp"
 #include "formats/vcf.hpp"
 
 namespace gpf {
 namespace {
+
+/// The std::invalid_argument message `fn` throws, or "" if it doesn't.
+template <typename Fn>
+std::string capture_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  const char* message;
+};
 
 // --- CIGAR -------------------------------------------------------------
 
@@ -126,6 +145,126 @@ TEST(Fastq, ZipPairs) {
   EXPECT_THROW(zip_pairs({{"a", "A", "I"}}, {}), std::invalid_argument);
 }
 
+TEST(Fastq, MalformedCorpusBothPathsAgree) {
+  static constexpr MalformedCase kCases[] = {
+      {"truncated record", "@r\nACGT\n+\n", "FASTQ: truncated record"},
+      {"truncated, no newline", "@r\nACGT", "FASTQ: truncated record"},
+      {"header without @", "r1\nACGT\n+\nIIII\n", "FASTQ: expected '@' header"},
+      {"missing separator", "@r\nACGT\nIIII\nACGT\n",
+       "FASTQ: expected '+' separator"},
+      {"separator repeats wrong name", "@r\nAC\n+x\nII\n",
+       "FASTQ: '+' line repeats a different header"},
+      {"length mismatch", "@r\nACGT\n+\nII\n",
+       "FASTQ: sequence/quality length mismatch"},
+      {"blank line between records", "@a\nA\n+\nI\n\n@b\nC\n+\nI\n",
+       "FASTQ: blank line between records"},
+      {"blank line then trailing garbage", "@a\nA\n+\nI\n\n\nC\n",
+       "FASTQ: blank line between records"},
+      {"blank seq with separator shifted", "@a\nA\n\nI\n",
+       "FASTQ: expected '+' separator"},
+      {"CR-only line endings", "@a\rAC\r+\rII", "FASTQ: truncated record"},
+      {"non-ASCII header", "@a\x01\nAC\n+\nII\n",
+       "FASTQ: non-ASCII byte in header"},
+      {"non-ASCII sequence", "@a\nA\x80\n+\nII\n",
+       "FASTQ: non-ASCII byte in sequence"},
+      {"quality below Phred+33", "@a\nAC\n+\nI \n",
+       "FASTQ: quality character out of range"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(capture_error([&] { parse_fastq(c.text); }), c.message)
+        << c.label;
+    EXPECT_EQ(capture_error([&] { detail::parse_fastq_reference(c.text); }),
+              c.message)
+        << c.label << " (reference)";
+    EXPECT_EQ(capture_error([&] { scan_fastq(c.text); }), c.message)
+        << c.label << " (scan)";
+  }
+}
+
+TEST(Fastq, AcceptsBenignShapeVariants) {
+  // CRLF endings.
+  const auto crlf = parse_fastq("@a x\r\nAC\r\n+\r\nII\r\n");
+  ASSERT_EQ(crlf.size(), 1u);
+  EXPECT_EQ(crlf[0].name, "a x");
+  EXPECT_EQ(crlf[0].sequence, "AC");
+  // Missing final newline.
+  EXPECT_EQ(parse_fastq("@a\nAC\n+\nII").size(), 1u);
+  // Trailing blank lines.
+  EXPECT_EQ(parse_fastq("@a\nAC\n+\nII\n\n\n").size(), 1u);
+  // '+' line repeating the full header.
+  EXPECT_EQ(parse_fastq("@a desc\nAC\n+a desc\nII\n").size(), 1u);
+  // Zero-length read (write_fastq emits this for empty sequences).
+  const auto empty = parse_fastq("@e\n\n+\n\n");
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].sequence, "");
+  // Empty input.
+  EXPECT_TRUE(parse_fastq("").empty());
+  EXPECT_TRUE(parse_fastq("\n\n").empty());
+}
+
+TEST(Fastq, ScanStatsMatchParse) {
+  const std::string text = "@a\nACGT\n+\nIIII\n@b\nAC\n+\nII\n";
+  const FastqScanStats stats = scan_fastq(text);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.bases, 6u);
+  EXPECT_EQ(stats, detail::scan_fastq_reference(text));
+}
+
+TEST(Fastq, ParallelDriverMatchesReferenceOnLargeInput) {
+  // Big enough to split into several chunks inside LineIndex (min chunk
+  // 256 KiB) and long enough lines to cross 64-byte blocks.
+  Rng rng(4242);
+  std::vector<FastqRecord> records;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t len = 40 + rng.below(200);
+    std::string seq(len, 'A');
+    for (auto& c : seq) c = "ACGT"[rng.below(4)];
+    records.push_back({"read" + std::to_string(i), seq,
+                       std::string(len,
+                                   static_cast<char>('!' + rng.below(70)))});
+  }
+  const std::string text = write_fastq(records);
+  ASSERT_GT(text.size(), std::size_t{1} << 19);
+  // Forced-parallel parse (threshold 1) agrees with the reference...
+  const auto fast =
+      detail::parse_fastq_at(simd::active_level(), text, /*threshold=*/1);
+  EXPECT_EQ(fast, records);
+  EXPECT_EQ(detail::parse_fastq_reference(text), records);
+  // ...including when the input ends with an error past many chunks.
+  std::string bad = text + "@tail\nACGT\n+\nII\n";
+  EXPECT_EQ(capture_error([&] {
+              detail::parse_fastq_at(simd::active_level(), bad, 1);
+            }),
+            "FASTQ: sequence/quality length mismatch");
+}
+
+TEST(ScanLayer, LineIndexParallelMatchesSequential) {
+  Rng rng(99);
+  std::string text;
+  while (text.size() < (std::size_t{1} << 20) + 12345) {
+    text.append(std::string(rng.below(150), 'x'));
+    if (rng.below(6) != 0) text.push_back('\n');
+    else text.append("\r\n");
+  }
+  const simd::Level level = simd::active_level();
+  const fmt::LineIndex seq(level, text, /*parallel_threshold=*/text.size() + 1);
+  const fmt::LineIndex par(level, text, /*parallel_threshold=*/1);
+  ASSERT_EQ(seq.line_count(), par.line_count());
+  for (std::size_t i = 0; i < seq.line_count(); ++i) {
+    ASSERT_EQ(seq.line(i), par.line(i)) << i;
+    ASSERT_EQ(seq.line_start(i), par.line_start(i)) << i;
+  }
+}
+
+TEST(ScanLayer, RejectsOversizedInput) {
+  // A fake string_view over a null pointer with a 4GiB+1 size never gets
+  // dereferenced: the size gate throws first.
+  const std::string_view huge(static_cast<const char*>(nullptr),
+                              fmt::kMaxTextBytes + 1);
+  EXPECT_THROW(fmt::LineIndex(simd::Level::kScalar, huge),
+               std::invalid_argument);
+}
+
 // --- SAM ---------------------------------------------------------------
 
 SamHeader two_contig_header() {
@@ -205,6 +344,63 @@ TEST(Sam, EndPos) {
   EXPECT_EQ(rec.end_pos(), 35);
 }
 
+TEST(Sam, MalformedCorpusBothPathsAgree) {
+  const std::string header = "@SQ\tSN:chr1\tLN:1000\n";
+  static constexpr MalformedCase kCases[] = {
+      {"short record", "r\t0\t*\t0\t0\t*\t*\t0\t0\tAC\n",
+       "SAM: record with <11 fields"},
+      {"bad flag", "r\tx\t*\t1\t0\t*\t*\t0\t0\tAC\tII\n",
+       "SAM: bad integer field: x"},
+      {"unknown contig", "r\t0\tchrX\t1\t0\t*\t*\t0\t0\tAC\tII\n",
+       "SAM: unknown contig chrX"},
+      {"bad cigar", "r\t0\tchr1\t1\t0\tx\t*\t0\t0\tAC\tII\n",
+       "CIGAR op without length"},
+      {"non-ASCII qname", "r\x80\t0\t*\t1\t0\t*\t*\t0\t0\tAC\tII\n",
+       "SAM: non-ASCII byte in QNAME"},
+      {"non-ASCII sequence", "r\t0\t*\t1\t0\t*\t*\t0\t0\tA\x02\tII\n",
+       "SAM: non-ASCII byte in SEQ"},
+      {"non-ASCII quality", "r\t0\t*\t1\t0\t*\t*\t0\t0\tAC\tI\x9f\n",
+       "SAM: non-ASCII byte in QUAL"},
+      {"bad @SQ length", "@SQ\tSN:chr1\tLN:12x\n",
+       "SAM: bad integer field: 12x"},
+  };
+  for (const auto& c : kCases) {
+    const std::string text = header + c.text;
+    EXPECT_EQ(capture_error([&] { parse_sam(text); }), c.message) << c.label;
+    EXPECT_EQ(capture_error([&] { detail::parse_sam_reference(text); }),
+              c.message)
+        << c.label << " (reference)";
+  }
+}
+
+TEST(Sam, AcceptsBenignShapeVariants) {
+  // CRLF, blank interior lines, and a missing final newline are all fine.
+  const std::string text =
+      "@SQ\tSN:chr1\tLN:1000\r\n\r\n"
+      "r1\t0\tchr1\t10\t60\t2M\t*\t0\t0\tAC\tII\n\n"
+      "r2\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*";
+  const SamFile parsed = parse_sam(text);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0].qname, "r1");
+  EXPECT_EQ(parsed.records[0].pos, 9);
+  EXPECT_EQ(parsed.records[1].contig_id, -1);
+  EXPECT_EQ(parsed, detail::parse_sam_reference(text));
+}
+
+TEST(Sam, LateHeaderLineFallsBackToReferenceSemantics) {
+  // An @SQ line *after* a record changes which contigs later records can
+  // resolve; the fast path must defer to the sequential reference.
+  const std::string text =
+      "@SQ\tSN:chr1\tLN:1000\n"
+      "r1\t0\tchr1\t10\t60\t2M\t*\t0\t0\tAC\tII\n"
+      "@SQ\tSN:chr2\tLN:500\n"
+      "r2\t0\tchr2\t20\t60\t2M\t*\t0\t0\tGG\tII\n";
+  const SamFile parsed = parse_sam(text);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[1].contig_id, 1);
+  EXPECT_EQ(parsed, detail::parse_sam_reference(text));
+}
+
 // --- VCF ---------------------------------------------------------------
 
 TEST(Vcf, WriteParseRoundTrip) {
@@ -254,6 +450,57 @@ TEST(Vcf, SortOrder) {
   VcfRecord c{1, 1, ".", "A", "C", 0, Genotype::kHet};
   EXPECT_TRUE(vcf_less(a, b));
   EXPECT_TRUE(vcf_less(b, c));
+}
+
+TEST(Vcf, MalformedCorpusBothPathsAgree) {
+  static constexpr MalformedCase kCases[] = {
+      {"short record", "c1\t5\t.\tA\n", "VCF: short record"},
+      {"bad POS", "c1\tx5\t.\tA\tC\t10\tPASS\t.\n", "VCF: bad POS"},
+      {"bad QUAL", "c1\t5\t.\tA\tC\tq\tPASS\t.\n", "VCF: bad QUAL"},
+      {"multi-allelic", "c1\t5\t.\tA\tC,G\t10\tPASS\t.\n",
+       "VCF: multi-allelic sites unsupported"},
+      {"non-ASCII REF", "c1\t5\t.\tA\x7f\tC\t10\tPASS\t.\n",
+       "VCF: non-ASCII byte in REF"},
+      {"non-ASCII ALT", "c1\t5\t.\tA\tC\x04\t10\tPASS\t.\n",
+       "VCF: non-ASCII byte in ALT"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(capture_error([&] { parse_vcf(c.text); }), c.message) << c.label;
+    EXPECT_EQ(capture_error([&] { detail::parse_vcf_reference(c.text); }),
+              c.message)
+        << c.label << " (reference)";
+  }
+}
+
+TEST(Vcf, AcceptsBenignShapeVariants) {
+  // "." QUAL, CRLF, blank lines, missing final newline, and contigs
+  // synthesized in order of appearance.
+  const std::string text =
+      "##fileformat=VCFv4.2\r\n\r\n"
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\r\n"
+      "b\t5\t.\tA\tC\t.\tPASS\t.\n"
+      "a\t7\t.\tG\tT\t12.5\tPASS\t.";
+  const VcfFile parsed = parse_vcf(text);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.header.contigs[0].name, "b");
+  EXPECT_EQ(parsed.header.contigs[1].name, "a");
+  EXPECT_EQ(parsed.records[0].contig_id, 0);
+  EXPECT_EQ(parsed.records[0].qual, 0.0);
+  EXPECT_EQ(parsed.records[1].contig_id, 1);
+  EXPECT_NEAR(parsed.records[1].qual, 12.5, 1e-9);
+  EXPECT_EQ(parsed, detail::parse_vcf_reference(text));
+}
+
+TEST(Vcf, LateMetaLineFallsBackToReferenceSemantics) {
+  const std::string text =
+      "##contig=<ID=c1,length=100>\n"
+      "c1\t5\t.\tA\tC\t10\tPASS\t.\n"
+      "##contig=<ID=c2,length=200>\n"
+      "c2\t7\t.\tG\tT\t10\tPASS\t.\n";
+  const VcfFile parsed = parse_vcf(text);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[1].contig_id, 1);
+  EXPECT_EQ(parsed, detail::parse_vcf_reference(text));
 }
 
 

@@ -10,6 +10,12 @@
 #include "common/rng.hpp"
 #include "compress/record_codec.hpp"
 #include "core/partition_info.hpp"
+#include "formats/bed.hpp"
+#include "formats/cigar.hpp"
+#include "formats/fasta.hpp"
+#include "formats/fastq.hpp"
+#include "formats/sam.hpp"
+#include "formats/vcf.hpp"
 #include "simcluster/cluster.hpp"
 #include "simcluster/sharedfs.hpp"
 #include "simdata/reference_gen.hpp"
@@ -151,6 +157,193 @@ TEST_P(SeedSweep, SamCodecsRoundTripArbitraryRecords) {
        {Codec::kJavaLike, Codec::kKryoLike, Codec::kGpf}) {
     const auto bytes = encode_sam_batch(records, codec);
     ASSERT_EQ(decode_sam_batch(bytes, codec), records) << codec_name(codec);
+  }
+}
+
+// --- text formats: parse(write(x)) == x -------------------------------------
+
+TEST_P(SeedSweep, FastqTextRoundTripsArbitraryRecords) {
+  Rng rng(GetParam() * 131);
+  std::vector<FastqRecord> records;
+  const std::size_t n = rng.below(40);
+  for (std::size_t i = 0; i < n; ++i) records.push_back(random_fastq(rng));
+  const std::string text = write_fastq(records);
+  ASSERT_EQ(parse_fastq(text), records);
+  // The validation-only scan agrees with the parse.
+  const FastqScanStats stats = scan_fastq(text);
+  ASSERT_EQ(stats.records, records.size());
+  std::size_t bases = 0;
+  for (const auto& r : records) bases += r.sequence.size();
+  ASSERT_EQ(stats.bases, bases);
+}
+
+TEST_P(SeedSweep, ZipPairsPreservesMatesAndRejectsRaggedInputs) {
+  Rng rng(GetParam() * 137);
+  std::vector<FastqRecord> first;
+  std::vector<FastqRecord> second;
+  const std::size_t n = 1 + rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    first.push_back(random_fastq(rng));
+    second.push_back(random_fastq(rng));
+  }
+  const auto pairs = zip_pairs(first, second);
+  ASSERT_EQ(pairs.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pairs[i].first, first[i]);
+    ASSERT_EQ(pairs[i].second, second[i]);
+  }
+  second.pop_back();
+  ASSERT_THROW(zip_pairs(first, second), std::invalid_argument);
+}
+
+TEST_P(SeedSweep, SamTextRoundTripsValidFiles) {
+  Rng rng(GetParam() * 139);
+  SamHeader header;
+  const std::size_t n_contigs = 1 + rng.below(4);
+  for (std::size_t c = 0; c < n_contigs; ++c) {
+    header.contigs.push_back({"ctg" + std::to_string(c),
+                              static_cast<std::int64_t>(
+                                  1 + rng.below(50'000))});
+  }
+  header.coordinate_sorted = rng.below(2) == 0;
+  static constexpr CigarOp kOps[] = {CigarOp::kMatch, CigarOp::kInsertion,
+                                     CigarOp::kDeletion, CigarOp::kSoftClip};
+  std::vector<SamRecord> records;
+  const std::size_t n = rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    SamRecord r;
+    r.qname = "q" + std::to_string(rng.below(1'000'000));
+    r.flag = static_cast<std::uint16_t>(rng.below(0x1000));
+    r.contig_id = static_cast<std::int32_t>(rng.below(n_contigs + 1)) - 1;
+    r.pos = static_cast<std::int64_t>(rng.below(100'000)) - 1;
+    r.mapq = static_cast<std::uint8_t>(rng.below(255));
+    const std::size_t ops = rng.below(4);
+    CigarOp prev = CigarOp::kPad;
+    for (std::size_t k = 0; k < ops; ++k) {
+      CigarOp op;
+      do {
+        op = kOps[rng.below(4)];
+      } while (op == prev);  // adjacent same-op runs merge in text form
+      prev = op;
+      r.cigar.push_back({op, static_cast<std::uint32_t>(1 + rng.below(90))});
+    }
+    r.mate_contig_id = static_cast<std::int32_t>(rng.below(n_contigs + 1)) - 1;
+    r.mate_pos = static_cast<std::int64_t>(rng.below(100'000)) - 1;
+    r.tlen = static_cast<std::int64_t>(rng.below(4'000)) - 2'000;
+    const std::size_t len = rng.below(60);
+    for (std::size_t k = 0; k < len; ++k) {
+      r.sequence.push_back("ACGTN"[rng.below(5)]);
+      r.quality.push_back(static_cast<char>(33 + rng.below(94)));
+    }
+    // A quality of exactly "*" is SAM's missing-quality marker and cannot
+    // survive a text round trip.
+    if (r.quality == "*") r.quality = "I";
+    records.push_back(std::move(r));
+  }
+  const SamFile parsed = parse_sam(write_sam(header, records));
+  ASSERT_EQ(parsed.header, header);
+  ASSERT_EQ(parsed.records, records);
+}
+
+TEST_P(SeedSweep, VcfTextRoundTripsValidFiles) {
+  Rng rng(GetParam() * 149);
+  VcfHeader header;
+  const std::size_t n_contigs = 1 + rng.below(4);
+  for (std::size_t c = 0; c < n_contigs; ++c) {
+    header.contigs.push_back({"ctg" + std::to_string(c),
+                              static_cast<std::int64_t>(
+                                  1 + rng.below(50'000))});
+  }
+  header.sample_name = "S" + std::to_string(rng.below(1000));
+  std::vector<VcfRecord> records;
+  const std::size_t n = rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    VcfRecord v;
+    v.contig_id = static_cast<std::int32_t>(rng.below(n_contigs));
+    v.pos = static_cast<std::int64_t>(rng.below(100'000));
+    v.id = rng.below(2) == 0 ? "." : "rs" + std::to_string(rng.below(100000));
+    const std::size_t rlen = 1 + rng.below(5);
+    const std::size_t alen = 1 + rng.below(5);
+    for (std::size_t k = 0; k < rlen; ++k) {
+      v.ref.push_back("ACGT"[rng.below(4)]);
+    }
+    for (std::size_t k = 0; k < alen; ++k) {
+      v.alt.push_back("ACGT"[rng.below(4)]);
+    }
+    // Multiples of 1/4 are binary-exact, so "%.2f" text round-trips them.
+    v.qual = static_cast<double>(rng.below(40'000)) / 4.0;
+    v.genotype = static_cast<Genotype>(rng.below(3));
+    records.push_back(std::move(v));
+  }
+  const VcfFile parsed = parse_vcf(write_vcf(header, records));
+  ASSERT_EQ(parsed.header, header);
+  ASSERT_EQ(parsed.records, records);
+}
+
+TEST_P(SeedSweep, FastaTextRoundTripsArbitraryContigs) {
+  Rng rng(GetParam() * 151);
+  std::vector<FastaContig> contigs;
+  const std::size_t n = 1 + rng.below(5);
+  for (std::size_t c = 0; c < n; ++c) {
+    FastaContig contig;
+    contig.name = "seq" + std::to_string(c);
+    const std::size_t len = rng.below(400);
+    for (std::size_t k = 0; k < len; ++k) {
+      contig.sequence.push_back("ACGTN"[rng.below(5)]);
+    }
+    contigs.push_back(std::move(contig));
+  }
+  const Reference ref(std::move(contigs));
+  const Reference parsed = parse_fasta(write_fasta(ref));
+  ASSERT_EQ(parsed.contig_count(), ref.contig_count());
+  for (std::size_t c = 0; c < ref.contig_count(); ++c) {
+    ASSERT_EQ(parsed.contig(static_cast<std::int32_t>(c)).name,
+              ref.contig(static_cast<std::int32_t>(c)).name);
+    ASSERT_EQ(parsed.contig(static_cast<std::int32_t>(c)).sequence,
+              ref.contig(static_cast<std::int32_t>(c)).sequence);
+  }
+}
+
+TEST_P(SeedSweep, BedTextRoundTripsValidIntervals) {
+  Rng rng(GetParam() * 157);
+  SamHeader header;
+  const std::size_t n_contigs = 1 + rng.below(4);
+  for (std::size_t c = 0; c < n_contigs; ++c) {
+    header.contigs.push_back({"ctg" + std::to_string(c),
+                              static_cast<std::int64_t>(
+                                  1 + rng.below(50'000))});
+  }
+  std::vector<BedInterval> intervals;
+  const std::size_t n = rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    BedInterval iv;
+    iv.contig_id = static_cast<std::int32_t>(rng.below(n_contigs));
+    iv.start = static_cast<std::int64_t>(rng.below(10'000));
+    iv.end = iv.start + 1 + static_cast<std::int64_t>(rng.below(5'000));
+    if (rng.below(2) == 0) iv.name = "iv" + std::to_string(i);
+    intervals.push_back(std::move(iv));
+  }
+  ASSERT_EQ(parse_bed(write_bed(intervals, header), header), intervals);
+}
+
+TEST_P(SeedSweep, CigarTextRoundTrips) {
+  Rng rng(GetParam() * 163);
+  static constexpr CigarOp kOps[] = {CigarOp::kMatch, CigarOp::kInsertion,
+                                     CigarOp::kDeletion, CigarOp::kSoftClip,
+                                     CigarOp::kSkip, CigarOp::kHardClip};
+  for (int trial = 0; trial < 50; ++trial) {
+    Cigar c;
+    const std::size_t ops = rng.below(10);
+    CigarOp prev = CigarOp::kPad;
+    for (std::size_t k = 0; k < ops; ++k) {
+      CigarOp op;
+      do {
+        op = kOps[rng.below(6)];
+      } while (op == prev);
+      prev = op;
+      c.push_back({op, static_cast<std::uint32_t>(1 + rng.below(500))});
+    }
+    ASSERT_EQ(parse_cigar(cigar_to_string(c)), c);
   }
 }
 
