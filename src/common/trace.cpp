@@ -7,37 +7,91 @@
 namespace gpf::trace {
 namespace {
 
-/// Escapes a string for a JSON literal (quotes, backslashes, control
-/// characters).
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (truncated sequence, stray
+/// continuation byte, overlong form, surrogate, or > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len;
+  unsigned char lo = 0x80;
+  unsigned char hi = 0xbf;
+  if (b0 <= 0x7f) return 1;
+  if (b0 >= 0xc2 && b0 <= 0xdf) {
+    len = 2;
+  } else if (b0 >= 0xe0 && b0 <= 0xef) {
+    len = 3;
+    if (b0 == 0xe0) lo = 0xa0;  // reject overlong
+    if (b0 == 0xed) hi = 0x9f;  // reject surrogates
+  } else if (b0 >= 0xf0 && b0 <= 0xf4) {
+    len = 4;
+    if (b0 == 0xf0) lo = 0x90;  // reject overlong
+    if (b0 == 0xf4) hi = 0x8f;  // reject > U+10FFFF
+  } else {
+    return 0;  // 0x80-0xc1 and 0xf5-0xff never start a sequence
+  }
+  if (i + len > s.size()) return 0;
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    if (byte(i + k) < 0x80 || byte(i + k) > 0xbf) return 0;
+  }
+  return len;
+}
+
+/// Escapes a string for a JSON literal.  Quotes, backslashes and control
+/// characters are escaped; valid UTF-8 passes through; bytes that are NOT
+/// valid UTF-8 are escaped as \u00XX (their Latin-1 code points), because
+/// Chrome's trace viewer rejects documents with raw non-UTF-8 bytes.  The
+/// output is therefore valid JSON for ARBITRARY input bytes.
 void append_json_string(std::string& out, std::string_view s) {
+  const auto escape_byte = [&out](unsigned char b) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(b));
+    out += buf;
+  };
   out += '"';
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
+        break;
     }
+    const unsigned char b = static_cast<unsigned char>(c);
+    if (b < 0x20) {
+      escape_byte(b);
+      ++i;
+      continue;
+    }
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      escape_byte(b);
+      ++i;
+      continue;
+    }
+    out.append(s.data() + i, len);
+    i += len;
   }
   out += '"';
 }

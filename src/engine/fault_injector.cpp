@@ -1,6 +1,8 @@
 #include "engine/fault_injector.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
 
 namespace gpf::engine {
 namespace {
@@ -86,6 +88,37 @@ StageFailure::StageFailure(std::string stage, std::size_t task, int attempts,
       stage_(std::move(stage)),
       task_(task),
       attempts_(attempts) {}
+
+std::uint64_t parse_seed(std::string_view text) {
+  const auto bad = [&text](const char* why) {
+    return std::invalid_argument("invalid seed \"" + std::string(text) +
+                                 "\": " + why);
+  };
+  if (text.empty()) throw bad("empty");
+  std::uint64_t value = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    throw bad("does not fit in 64 bits");
+  }
+  // from_chars already rejects signs, whitespace and non-digits at the
+  // front; a partial parse means trailing junk ("123abc", "1 2", "1.5").
+  if (ec != std::errc() || ptr != last) {
+    throw bad("not a base-10 unsigned integer");
+  }
+  return value;
+}
+
+std::uint64_t seed_from_env(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  try {
+    return parse_seed(s);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(name) + ": " + e.what());
+  }
+}
 
 std::uint64_t shuffle_block_checksum(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 1469598103934665603ULL;

@@ -29,6 +29,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gpf::engine {
@@ -104,6 +105,19 @@ class StageFailure : public std::runtime_error {
 /// Checksum guarding shuffle blocks against (injected or real) corruption
 /// and codecs that decode to the wrong record count.  FNV-1a 64.
 std::uint64_t shuffle_block_checksum(std::span<const std::uint8_t> bytes);
+
+/// Parses a chaos/fuzz seed from a decimal string.  Strict: the whole
+/// string must be one base-10 unsigned 64-bit integer — empty input,
+/// non-numeric text, signs, leading/trailing junk, and overflow all throw
+/// std::invalid_argument naming the offending value.  (A malformed
+/// GPF_CHAOS_SEED that silently parsed as 0 would pin an entire CI chaos
+/// sweep to one seed and report it as ten.)
+std::uint64_t parse_seed(std::string_view text);
+
+/// parse_seed() applied to environment variable `name`; `fallback` when
+/// the variable is unset.  Malformed values still throw — an unset knob is
+/// a default, a broken knob is a bug.
+std::uint64_t seed_from_env(const char* name, std::uint64_t fallback);
 
 /// The injector itself.  Thread-safe: decision methods are pure hashes of
 /// their arguments, counters are atomic.

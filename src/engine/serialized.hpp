@@ -11,10 +11,27 @@
 // stage's shared partition storage instead of deep-copying every block,
 // and materialize() wraps that same storage as the decode stage's input.
 // The byte blocks are produced once and never duplicated.
+//
+// Two invariants guard the zero-copy adoption:
+//  * Integrity: persist() records a {checksum, record count} per block and
+//    materialize() re-verifies both before and after decode, so a block
+//    corrupted at rest (or by an injected corrupt_block rule) fails with a
+//    retriable ShuffleBlockError instead of silently decoding garbage —
+//    the same contract Dataset::shuffle gives in-flight blocks.
+//  * Aliasing: adopted blocks are owned solely by the shared partition
+//    storage and are NEVER handed to BufferPool::release while a
+//    SerializedDataset (or a dataset view produced by materialize) can
+//    still reach them — pooled storage is recycled and overwritten by the
+//    next acquirer, so releasing a live block is a use-after-free in
+//    disguise.  The encode stage's pooled buffers leave the pool for good
+//    when they are adopted here.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <numeric>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +46,12 @@ class SerializedDataset {
   /// layout (a "partition" of the byte dataset is a single-element vector
   /// holding the block).
   using Blocks = std::vector<std::vector<std::vector<std::uint8_t>>>;
+
+  /// Integrity metadata for one adopted block, recorded at persist time.
+  struct BlockMeta {
+    std::uint64_t checksum = 0;
+    std::size_t records = 0;
+  };
 
   SerializedDataset() = default;
 
@@ -59,8 +82,23 @@ class SerializedDataset {
           return one;
         });
     // Adopt the encode stage's shared partitions: the blocks are stored
-    // exactly once, never copied.
+    // exactly once, never copied.  From here on the blocks belong to this
+    // shared storage and must not be released back to the buffer pool (see
+    // the aliasing invariant in the file comment).
     out.blocks_ = encoded.shared_partitions();
+    // Fingerprint every adopted block NOW, while the bytes are known good:
+    // materialize() verifies against these before trusting a decode.
+    auto meta = std::make_shared<std::vector<BlockMeta>>();
+    meta->reserve(out.blocks_->size());
+    const auto& parts = dataset.partitions();
+    for (std::size_t i = 0; i < out.blocks_->size(); ++i) {
+      const auto& block = (*out.blocks_)[i].at(0);
+      meta->push_back(BlockMeta{
+          shuffle_block_checksum(
+              std::span<const std::uint8_t>(block.data(), block.size())),
+          parts[i].size()});
+    }
+    out.meta_ = std::move(meta);
     return out;
   }
 
@@ -78,18 +116,53 @@ class SerializedDataset {
     return total;
   }
 
+  /// Integrity metadata of the adopted blocks, one entry per partition.
+  const std::vector<BlockMeta>& block_meta() const { return *meta_; }
+
   /// Decodes back into a live Dataset; recorded as "<name>.materialize".
+  /// Every block is verified against its persist-time checksum before
+  /// decode and its record count after; a mismatch (at-rest corruption or
+  /// an injected corrupt_block rule) throws ShuffleBlockError, which the
+  /// stage executor retries against the pristine bytes like any lost task.
   Dataset<T> materialize(const std::string& name) const {
     if (!blocks_) throw std::logic_error("materialize: empty");
+    const std::string stage_name = name + ".materialize";
     // Wrap the shared blocks as a dataset of byte buffers (no copies) so
     // decoding runs as a normal parallel stage with retry semantics.
     Dataset<std::vector<std::uint8_t>> bytes_ds(engine_, blocks_);
-    return bytes_ds.template map_partitions<T>(
-        name + ".materialize",
-        [codec = codec_](
+    return bytes_ds.template map_partitions_ctx<T>(
+        stage_name,
+        [codec = codec_, meta = meta_, engine = engine_, stage_name](
+            const TaskContext& ctx,
             const std::vector<std::vector<std::uint8_t>>& part) {
-          return codec->decode(std::span<const std::uint8_t>(
-              part.at(0).data(), part.at(0).size()));
+          const auto& stored = part.at(0);
+          std::span<const std::uint8_t> block(stored.data(), stored.size());
+          FaultInjector* injector = engine->fault_injector();
+          std::optional<std::vector<std::uint8_t>> corrupted;
+          if (injector != nullptr) {
+            corrupted =
+                injector->corrupted_copy(stage_name, ctx.ordinal, ctx.index,
+                                         /*block=*/0, ctx.attempt, block);
+            if (corrupted) {
+              block = std::span<const std::uint8_t>(corrupted->data(),
+                                                    corrupted->size());
+            }
+          }
+          const BlockMeta& expect = (*meta)[ctx.index];
+          if (shuffle_block_checksum(block) != expect.checksum) {
+            throw ShuffleBlockError(
+                "persisted block " + std::to_string(ctx.index) +
+                " of stage '" + stage_name + "' failed its checksum");
+          }
+          auto records = codec->decode(block);
+          if (records.size() != expect.records) {
+            throw ShuffleBlockError(
+                "persisted block " + std::to_string(ctx.index) +
+                " of stage '" + stage_name + "' decoded to " +
+                std::to_string(records.size()) + " records, expected " +
+                std::to_string(expect.records));
+          }
+          return records;
         });
   }
 
@@ -97,6 +170,7 @@ class SerializedDataset {
   Engine* engine_ = nullptr;
   std::shared_ptr<ShuffleCodec<T>> codec_;
   std::shared_ptr<Blocks> blocks_;
+  std::shared_ptr<std::vector<BlockMeta>> meta_;
 };
 
 }  // namespace gpf::engine

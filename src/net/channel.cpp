@@ -1,0 +1,69 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace gpf::net {
+
+Frame RetriableChannel::call(std::uint32_t type,
+                             std::span<const std::uint8_t> payload) {
+  return call(type, payload, config_.call_timeout_ms, config_.max_attempts);
+}
+
+Frame RetriableChannel::call(std::uint32_t type,
+                             std::span<const std::uint8_t> payload,
+                             int timeout_ms, int max_attempts) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t request_id = next_request_id_++;
+  std::string last_error;
+  int backoff_ms = config_.backoff_initial_ms;
+  for (int a = 0; a < std::max(1, max_attempts); ++a) {
+    if (a > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    }
+    try {
+      return attempt(type, payload, request_id, timeout_ms);
+    } catch (const std::runtime_error& e) {
+      // SocketError / FrameError / FrameEof: the connection is suspect —
+      // drop it so the next attempt reconnects from scratch.
+      sock_.close();
+      last_error = e.what();
+    }
+  }
+  throw ChannelError("channel to " + host_ + ":" + std::to_string(port_) +
+                     " failed after " + std::to_string(max_attempts) +
+                     " attempts; last error: " + last_error);
+}
+
+Frame RetriableChannel::attempt(std::uint32_t type,
+                                std::span<const std::uint8_t> payload,
+                                std::uint64_t request_id, int timeout_ms) {
+  if (!sock_.valid()) {
+    sock_ = Socket::connect_tcp(host_, port_, config_.connect_timeout_ms);
+  }
+  Frame request;
+  request.type = type;
+  request.request_id = request_id;
+  request.payload.assign(payload.begin(), payload.end());
+  write_frame(sock_, request, timeout_ms);
+  Frame response = read_frame(sock_, config_.limits, timeout_ms);
+  if (response.request_id != request_id) {
+    // A stale response from a previous timed-out attempt desynchronized
+    // the stream; treat as a transport fault so the call retries clean.
+    throw FrameError(FrameFault::kBadMagic,
+                     "channel: response id " +
+                         std::to_string(response.request_id) +
+                         " does not match request " +
+                         std::to_string(request_id));
+  }
+  return response;
+}
+
+void RetriableChannel::disconnect() {
+  std::lock_guard lock(mu_);
+  sock_.close();
+}
+
+}  // namespace gpf::net

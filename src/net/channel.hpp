@@ -1,0 +1,80 @@
+// A retriable request/response channel over framed TCP.
+//
+// One channel = one logical peer.  Calls are synchronous (one outstanding
+// request per channel, matching the driver's task-at-a-time dispatch); the
+// channel reconnects transparently with exponential backoff when the
+// transport fails, and every call carries a per-attempt timeout so a dead
+// peer turns into a typed ChannelError bounded in time.
+//
+// Retries re-send the request, so callers must only issue idempotent
+// requests — which every runtime message is: tasks are pure functions of
+// immutable inputs (the engine's lineage-recompute contract), heartbeats
+// and block fetches are reads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace gpf::net {
+
+/// The channel exhausted its attempts; carries the last transport error.
+class ChannelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ChannelConfig {
+  int connect_timeout_ms = 2000;
+  /// Per-attempt deadline for the response (tasks that legitimately run
+  /// longer need a larger value; the loopback tests use seconds).
+  int call_timeout_ms = 10000;
+  /// Total attempts per call (first try + retries).
+  int max_attempts = 3;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+  FrameLimits limits;
+};
+
+class RetriableChannel {
+ public:
+  RetriableChannel(std::string host, std::uint16_t port,
+                   ChannelConfig config = {})
+      : host_(std::move(host)), port_(port), config_(config) {}
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Sends `payload` as a frame of `type` and returns the peer's response
+  /// frame.  Transport failures (connect, send, recv, framing) are retried
+  /// with exponential backoff up to max_attempts, then surface as
+  /// ChannelError.  Application-level error responses are returned to the
+  /// caller like any other frame — the channel does not interpret types.
+  Frame call(std::uint32_t type, std::span<const std::uint8_t> payload);
+
+  /// Like call() but with a custom per-attempt timeout (heartbeats probe
+  /// with a short one; long tasks extend it).
+  Frame call(std::uint32_t type, std::span<const std::uint8_t> payload,
+             int timeout_ms, int max_attempts);
+
+  /// Drops the connection; the next call reconnects.
+  void disconnect();
+
+ private:
+  Frame attempt(std::uint32_t type, std::span<const std::uint8_t> payload,
+                std::uint64_t request_id, int timeout_ms);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ChannelConfig config_;
+  std::mutex mu_;  // serializes calls and guards the socket
+  Socket sock_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace gpf::net

@@ -1,0 +1,230 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gpf::net {
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Waits for `events` on `fd`; throws on poll error, returns false on
+/// timeout.
+bool wait_for(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw SocketError(errno_message("poll"));
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw SocketError(errno_message("fcntl(F_GETFL)"));
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    throw SocketError(errno_message("fcntl(F_SETFL)"));
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port,
+                           int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw SocketError(errno_message("socket"));
+  Socket sock(fd);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("connect: bad address '" + host + "'");
+  }
+
+  // Non-blocking connect so the timeout is enforceable.
+  set_nonblocking(fd, true);
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) {
+    throw SocketError(errno_message("connect"));
+  }
+  if (rc < 0) {
+    if (!wait_for(fd, POLLOUT, timeout_ms)) {
+      throw SocketError("connect: timeout to " + host + ":" +
+                        std::to_string(port));
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      throw SocketError(errno_message("connect"));
+    }
+  }
+  set_nonblocking(fd, false);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+void Socket::send_all(const void* data, std::size_t n, int timeout_ms) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd_, POLLOUT, timeout_ms)) {
+        throw SocketError("send: timeout");
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw SocketError(errno_message("send"));
+  }
+}
+
+void Socket::recv_all(void* data, std::size_t n, int timeout_ms) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    bool timed_out = false;
+    const std::size_t rc = recv_some(p + got, n - got, timeout_ms, &timed_out);
+    if (timed_out) throw SocketError("recv: timeout");
+    if (rc == 0) throw SocketError("recv: connection closed by peer");
+    got += rc;
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t n, int timeout_ms,
+                              bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, data, n, MSG_DONTWAIT);
+    if (rc > 0) return static_cast<std::size_t>(rc);
+    if (rc == 0) return 0;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_for(fd_, POLLIN, timeout_ms)) {
+        if (timed_out != nullptr) {
+          *timed_out = true;
+          return 0;
+        }
+        throw SocketError("recv: timeout");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw SocketError(errno_message("recv"));
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  return wait_for(fd_, POLLIN, timeout_ms);
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::bind_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw SocketError(errno_message("socket"));
+  Listener l;
+  l.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError(errno_message("bind"));
+  }
+  if (::listen(fd, 64) < 0) throw SocketError(errno_message("listen"));
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    throw SocketError(errno_message("getsockname"));
+  }
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Socket Listener::accept(int timeout_ms) {
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw SocketError(errno_message("accept"));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+}  // namespace gpf::net

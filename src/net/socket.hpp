@@ -1,0 +1,96 @@
+// Thin RAII layer over loopback/LAN TCP sockets with poll-based timeouts.
+//
+// The distributed runtime deliberately uses blocking sockets plus poll():
+// the driver and workers exchange few, large, length-prefixed frames, so
+// per-connection blocking I/O with a deadline beats an async reactor in
+// both simplicity and debuggability (Thrill makes the same call for its
+// batch shuffle transport).  Every operation takes an explicit timeout so
+// a dead peer surfaces as SocketError instead of a hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gpf::net {
+
+/// Transport-level failure: connect/send/recv error, timeout, or the peer
+/// closing the connection mid-message.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connected stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port, failing after `timeout_ms`.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port,
+                            int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Writes exactly `n` bytes or throws SocketError.  The timeout applies
+  /// per poll wait, so a live-but-slow peer keeps extending the deadline
+  /// while a dead one fails within one timeout.
+  void send_all(const void* data, std::size_t n, int timeout_ms);
+
+  /// Reads exactly `n` bytes or throws SocketError (including on EOF).
+  void recv_all(void* data, std::size_t n, int timeout_ms);
+
+  /// Reads up to `n` bytes; returns 0 on orderly EOF.  Blocks up to
+  /// `timeout_ms` for the first byte.  When `timed_out` is non-null a
+  /// timeout sets it and returns 0 instead of throwing, so callers can
+  /// tell a quiet peer from a closed one.
+  std::size_t recv_some(void* data, std::size_t n, int timeout_ms,
+                        bool* timed_out = nullptr);
+
+  /// Waits up to `timeout_ms` for the socket to become readable without
+  /// consuming anything; servers use this to poll idle connections while
+  /// checking a stop flag.
+  bool wait_readable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to the loopback interface.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+  static Listener bind_loopback(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Accepts one connection, or returns an invalid Socket after
+  /// `timeout_ms` with nothing pending.
+  Socket accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gpf::net

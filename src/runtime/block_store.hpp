@@ -1,0 +1,64 @@
+// In-memory shuffle block store held by each worker process.
+//
+// The map side of a distributed shuffle deposits encoded buckets here;
+// reduce tasks (running on any worker) fetch them locally or over the
+// wire.  Blocks are immutable once stored — fetches hand out shared
+// pointers, so a concurrent overwrite (a speculative map copy landing
+// twice) can never mutate bytes a reader is streaming.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gpf::runtime {
+
+/// One stored block: the encoded bytes plus the integrity metadata the
+/// in-process shuffle tracks per block (engine's BlockMeta equivalent).
+struct StoredBlock {
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  std::uint64_t checksum = 0;
+  std::uint64_t records = 0;
+};
+
+class BlockStore {
+ public:
+  void put(const std::string& key, StoredBlock block) {
+    std::lock_guard lock(mu_);
+    blocks_[key] = std::move(block);
+  }
+
+  std::optional<StoredBlock> get(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    const auto it = blocks_.find(key);
+    if (it == blocks_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t count() const {
+    std::lock_guard lock(mu_);
+    return blocks_.size();
+  }
+
+  std::uint64_t total_bytes() const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [k, b] : blocks_) n += b.bytes ? b.bytes->size() : 0;
+    return n;
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    blocks_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StoredBlock> blocks_;
+};
+
+}  // namespace gpf::runtime

@@ -1,0 +1,210 @@
+#include "runtime/distributed.hpp"
+
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "engine/stage_executor.hpp"
+
+namespace gpf::runtime {
+namespace {
+
+/// Where one map task's blocks currently live.
+struct MapBlocks {
+  int worker = -1;
+  std::uint16_t port = 0;
+  std::vector<BlockRef> blocks;
+};
+
+/// Stamps wall time and files the stage — the distributed twin of
+/// Dataset::record_stage, kept byte-compatible so simcluster replays and
+/// trace tooling treat both kinds of stage identically.
+void record_stage(engine::Engine& engine, engine::StageMetrics&& stage,
+                  const Timer& wall, bool failed) {
+  stage.wall_seconds = wall.seconds();
+  stage.failed = failed;
+  trace::TraceRecorder& recorder = trace::TraceRecorder::global();
+  if (recorder.enabled()) {
+    trace::Span span;
+    span.name = stage.name;
+    span.kind = trace::SpanKind::kStage;
+    span.dur_us = stage.wall_seconds * 1e6;
+    span.start_us = recorder.now_us() - span.dur_us;
+    span.failed = stage.failed;
+    recorder.record(std::move(span));
+  }
+  engine.metrics().add_stage(std::move(stage));
+}
+
+}  // namespace
+
+std::vector<RecordPartition> distributed_shuffle(
+    engine::Engine& engine, WorkerPool& pool, const std::string& stage_name,
+    const std::vector<RecordPartition>& inputs, std::size_t num_out,
+    const DistributedShuffleOptions& options) {
+  if (num_out == 0) {
+    throw std::invalid_argument("distributed_shuffle: num_out == 0");
+  }
+  const std::size_t n_in = inputs.size();
+
+  engine::StageMetrics stage;
+  stage.name = stage_name;
+  stage.task_count = n_in + num_out;
+  stage.task_seconds.assign(n_in + num_out, 0.0);
+  stage.wide = true;
+  stage.map_task_count = n_in;
+
+  engine::FaultInjector* injector = engine.fault_injector();
+  const std::size_t ordinal =
+      injector != nullptr ? injector->begin_stage(stage_name) : 0;
+  const engine::StageExecPolicy policy = engine.exec_policy();
+
+  // Current block locations, written by the map stage and patched by
+  // reduce-side lineage recomputes when an owner dies.
+  std::vector<MapBlocks> locations(n_in);
+  std::mutex loc_mu;
+
+  // Ships input partition `i` to a live worker and returns where its
+  // blocks landed.  Pure function of the immutable input partition, so
+  // the executor may run it for retries, speculative copies, and
+  // reduce-side recomputes alike.
+  auto run_map_task = [&](std::size_t i, int attempt) -> MapBlocks {
+    ByteWriter w(engine.buffer_pool().acquire());
+    w.str(options.partitioner);
+    w.uvarint(num_out);
+    w.u32(options.map_delay_ms);
+    encode_records(w, inputs[i]);
+    TaskRequest req;
+    req.kind = "shuffle_map";
+    req.stage = stage_name;
+    req.task = i;
+    req.attempt = attempt;
+    req.payload = w.take();
+    int worker = -1;
+    std::vector<std::uint8_t> reply =
+        pool.run_task(req, &engine.buffer_pool(), &worker);
+    engine.buffer_pool().release(std::move(req.payload));
+
+    ByteReader r(std::span<const std::uint8_t>(reply.data(), reply.size()));
+    MapBlocks out;
+    out.worker = worker;
+    out.port = pool.info(worker).port;
+    const std::uint64_t blocks = r.uvarint();
+    if (blocks != num_out) {
+      throw std::runtime_error("shuffle_map returned " +
+                               std::to_string(blocks) + " blocks, expected " +
+                               std::to_string(num_out));
+    }
+    out.blocks.resize(num_out);
+    for (std::size_t b = 0; b < num_out; ++b) {
+      out.blocks[b].port = out.port;
+      out.blocks[b].checksum = r.u64();
+      out.blocks[b].records = r.uvarint();
+      out.blocks[b].bytes = r.uvarint();
+    }
+    return out;
+  };
+
+  Timer wall;
+  try {
+    auto map_results = engine::execute_stage<MapBlocks>(
+        engine.pool(), policy, injector, stage, ordinal, n_in,
+        /*task_offset=*/0, run_map_task);
+    std::lock_guard lock(loc_mu);
+    locations = std::move(map_results);
+  } catch (...) {
+    record_stage(engine, std::move(stage), wall, /*failed=*/true);
+    throw;
+  }
+  for (const auto& m : locations) {
+    for (const auto& b : m.blocks) stage.shuffle_write_bytes += b.bytes;
+  }
+  if (options.on_map_complete) options.on_map_complete();
+
+  // Recomputes every map task whose blocks died with their worker and
+  // patches the location table.  Runs inside a failing reduce attempt;
+  // concurrent repairs of the same task are harmless (bit-identical
+  // blocks, last write wins under the lock).
+  auto repair_lost_blocks = [&](int attempt) {
+    std::vector<std::size_t> lost;
+    {
+      std::lock_guard lock(loc_mu);
+      for (std::size_t i = 0; i < n_in; ++i) {
+        if (!pool.alive(locations[i].worker)) lost.push_back(i);
+      }
+    }
+    for (const std::size_t i : lost) {
+      MapBlocks fresh = run_map_task(i, attempt);
+      std::lock_guard lock(loc_mu);
+      locations[i] = std::move(fresh);
+    }
+    return lost.size();
+  };
+
+  auto run_reduce_task = [&](std::size_t b, int attempt) -> RecordPartition {
+    std::vector<BlockRef> refs(n_in);
+    {
+      std::lock_guard lock(loc_mu);
+      for (std::size_t i = 0; i < n_in; ++i) {
+        refs[i] = locations[i].blocks[b];
+      }
+    }
+    ByteWriter w(engine.buffer_pool().acquire());
+    w.uvarint(b);
+    w.uvarint(n_in);
+    for (const auto& ref : refs) {
+      w.u16(ref.port);
+      w.u64(ref.checksum);
+      w.uvarint(ref.records);
+    }
+    TaskRequest req;
+    req.kind = "shuffle_reduce";
+    req.stage = stage_name;
+    req.task = n_in + b;
+    req.attempt = attempt;
+    req.payload = w.take();
+    std::vector<std::uint8_t> reply;
+    try {
+      reply = pool.run_task(req, &engine.buffer_pool());
+    } catch (const RemoteTaskError& e) {
+      engine.buffer_pool().release(std::move(req.payload));
+      if (e.error().code == TaskErrorCode::kMissingBlock) {
+        // A block owner died between map and fetch: recompute the dead
+        // workers' map tasks from lineage, then fail this attempt so the
+        // executor retries the reduce against the fresh locations.
+        repair_lost_blocks(attempt);
+        throw engine::ShuffleBlockError(
+            "reduce partition " + std::to_string(b) + " of stage '" +
+            stage_name + "' lost block of map task " +
+            std::to_string(e.error().detail) + "; recomputed from lineage");
+      }
+      throw;
+    }
+    engine.buffer_pool().release(std::move(req.payload));
+
+    ByteReader r(std::span<const std::uint8_t>(reply.data(), reply.size()));
+    return decode_records(r);
+  };
+
+  std::vector<RecordPartition> result;
+  try {
+    result = engine::execute_stage<RecordPartition>(
+        engine.pool(), policy, injector, stage, ordinal, num_out,
+        /*task_offset=*/n_in, run_reduce_task);
+  } catch (...) {
+    record_stage(engine, std::move(stage), wall, /*failed=*/true);
+    throw;
+  }
+  {
+    std::lock_guard lock(loc_mu);
+    for (const auto& m : locations) {
+      for (const auto& b : m.blocks) stage.shuffle_read_bytes += b.bytes;
+    }
+  }
+  record_stage(engine, std::move(stage), wall, /*failed=*/false);
+  return result;
+}
+
+}  // namespace gpf::runtime

@@ -1,0 +1,78 @@
+// Driver-side distributed stage execution.
+//
+// distributed_shuffle() runs the engine's wide-dependency pattern across
+// real worker processes: map tasks ship their partition's records to a
+// worker, which buckets and deposits checksummed blocks in its local
+// store; reduce tasks run on any worker and pull their blocks from the
+// owners over sockets.  Scheduling, retries, speculation and metrics all
+// come from the SAME fault-tolerant executor the in-process engine uses
+// (engine/stage_executor.hpp): a worker dying mid-task surfaces as a
+// thrown WorkerLost, which the executor retries on the next live worker —
+// and a map block lost with its worker is recomputed from the driver-held
+// input partition, the lineage story of the paper's Sec 4.4 made literal.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/dataset.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace gpf::runtime {
+
+/// One partition of opaque records (each record one byte string).
+using RecordPartition = std::vector<std::vector<std::uint8_t>>;
+
+struct DistributedShuffleOptions {
+  /// Named partitioner evaluated worker-side: "bytes_fnv" (FNV-1a of the
+  /// record bytes) or "key_u64" (leading 8 bytes, little-endian).
+  std::string partitioner = "bytes_fnv";
+  /// Chaos aid: stretches every map task on the worker by this long so
+  /// tests can SIGKILL a worker deterministically mid-stage.
+  std::uint32_t map_delay_ms = 0;
+  /// Chaos aid: runs on the driver after the map stage commits its block
+  /// locations and before any reduce task dispatches — the exact window
+  /// where killing a worker loses finished blocks (not in-flight tasks),
+  /// forcing the reduce side through the lineage-recompute path.
+  std::function<void()> on_map_complete;
+};
+
+/// Shuffles `inputs` into `num_out` partitions across the pool's workers.
+/// Stage metrics (shuffle bytes, retries, speculative launches) are
+/// recorded into `engine.metrics()` exactly like an in-process shuffle;
+/// the engine's FaultInjector, if attached, injects into dispatch attempts
+/// (so chaos seeds drive real processes).  Output record order is
+/// deterministic: blocks concatenate in map-task order.
+std::vector<RecordPartition> distributed_shuffle(
+    engine::Engine& engine, WorkerPool& pool, const std::string& stage_name,
+    const std::vector<RecordPartition>& inputs, std::size_t num_out,
+    const DistributedShuffleOptions& options = {});
+
+/// Encodes u64 values as 8-byte little-endian records (the "key_u64"
+/// partitioner's native shape).
+inline RecordPartition u64_records(const std::vector<std::uint64_t>& xs) {
+  RecordPartition out;
+  out.reserve(xs.size());
+  for (const std::uint64_t x : xs) {
+    std::vector<std::uint8_t> rec(8);
+    std::memcpy(rec.data(), &x, 8);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+inline std::vector<std::uint64_t> u64_values(const RecordPartition& records) {
+  std::vector<std::uint64_t> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    std::uint64_t x = 0;
+    std::memcpy(&x, rec.data(), rec.size() < 8 ? rec.size() : 8);
+    out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace gpf::runtime

@@ -1,0 +1,387 @@
+#include "runtime/worker.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/trace.hpp"
+#include "engine/fault_injector.hpp"
+#include "net/channel.hpp"
+
+namespace gpf::runtime {
+namespace {
+
+/// Partitions a record to [0, num_out) by the named scheme.  Names travel
+/// on the wire because closures cannot; both schemes are deterministic so
+/// recomputed map tasks rebuild bit-identical blocks.
+std::size_t route_record(const std::string& partitioner,
+                         std::span<const std::uint8_t> record,
+                         std::size_t num_out) {
+  if (partitioner == "key_u64") {
+    if (record.size() < 8) {
+      throw std::invalid_argument(
+          "key_u64 partitioner: record shorter than 8 bytes");
+    }
+    std::uint64_t key;
+    std::memcpy(&key, record.data(), 8);
+    return key % num_out;
+  }
+  if (partitioner == "bytes_fnv") {
+    return engine::shuffle_block_checksum(record) % num_out;
+  }
+  throw std::invalid_argument("unknown partitioner '" + partitioner + "'");
+}
+
+/// shuffle_map: bucket the shipped records, encode each bucket into a
+/// pooled buffer, deposit the blocks locally, return the block metas.
+std::vector<std::uint8_t> shuffle_map_task(WorkerContext& ctx,
+                                           const TaskRequest& req) {
+  ByteReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                             req.payload.size()));
+  const std::string partitioner = r.str();
+  const std::uint64_t num_out = r.uvarint();
+  const std::uint32_t delay_ms = r.u32();
+  auto records = decode_records(r);
+  if (num_out == 0) throw std::invalid_argument("shuffle_map: num_out == 0");
+  if (delay_ms > 0) {
+    // Chaos aid: stretches the task so tests can SIGKILL this worker
+    // mid-stage deterministically.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+
+  std::vector<std::vector<std::size_t>> buckets(num_out);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    buckets[route_record(partitioner,
+                         std::span<const std::uint8_t>(records[i].data(),
+                                                       records[i].size()),
+                         num_out)]
+        .push_back(i);
+  }
+
+  ByteWriter reply;
+  reply.uvarint(num_out);
+  for (std::uint64_t b = 0; b < num_out; ++b) {
+    // Encode the bucket's record stream into a recycled buffer (the same
+    // BufferPool discipline the in-process shuffle uses).
+    ByteWriter block(ctx.buffer_pool.acquire());
+    block.uvarint(buckets[b].size());
+    for (const std::size_t idx : buckets[b]) {
+      block.uvarint(records[idx].size());
+      block.raw(std::span<const std::uint8_t>(records[idx].data(),
+                                              records[idx].size()));
+    }
+    auto bytes = std::make_shared<std::vector<std::uint8_t>>(block.take());
+    StoredBlock stored;
+    stored.checksum = engine::shuffle_block_checksum(
+        std::span<const std::uint8_t>(bytes->data(), bytes->size()));
+    stored.records = buckets[b].size();
+    stored.bytes = bytes;
+    ctx.blocks.put(BlockId{req.stage, req.task, b}.key(), stored);
+    reply.u64(stored.checksum);
+    reply.uvarint(stored.records);
+    reply.uvarint(bytes->size());
+  }
+  return reply.take();
+}
+
+/// shuffle_reduce: gather one output partition's blocks from their owning
+/// workers (in map-task order, so output is deterministic), validate each
+/// against its checksum and record count, and return the merged stream.
+std::vector<std::uint8_t> shuffle_reduce_task(WorkerContext& ctx,
+                                              const TaskRequest& req) {
+  ByteReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                             req.payload.size()));
+  const std::uint64_t reduce_part = r.uvarint();
+  const std::uint64_t n_in = r.uvarint();
+
+  struct Ref {
+    std::uint16_t port;
+    std::uint64_t checksum;
+    std::uint64_t records;
+  };
+  std::vector<Ref> refs(n_in);
+  for (std::uint64_t i = 0; i < n_in; ++i) {
+    refs[i].port = r.u16();
+    refs[i].checksum = r.u64();
+    refs[i].records = r.uvarint();
+  }
+
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::uint64_t i = 0; i < n_in; ++i) {
+    const BlockId id{req.stage, i, reduce_part};
+    StoredBlock block = ctx.fetch_block(refs[i].port, id);
+    if (block.checksum != refs[i].checksum) {
+      throw MissingBlockError(
+          i, "block " + id.key() + " failed its checksum");
+    }
+    ByteReader br(std::span<const std::uint8_t>(block.bytes->data(),
+                                                block.bytes->size()));
+    auto records = decode_records(br);
+    if (records.size() != refs[i].records) {
+      throw MissingBlockError(
+          i, "block " + id.key() + " decoded to " +
+                 std::to_string(records.size()) + " records, expected " +
+                 std::to_string(refs[i].records));
+    }
+    for (auto& rec : records) out.push_back(std::move(rec));
+  }
+
+  ByteWriter reply(ctx.buffer_pool.acquire());
+  encode_records(reply, out);
+  return reply.take();
+}
+
+/// sleep_echo: test aid — sleep, then echo the bytes back.
+std::vector<std::uint8_t> sleep_echo_task(WorkerContext&,
+                                          const TaskRequest& req) {
+  ByteReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                             req.payload.size()));
+  const std::uint32_t sleep_ms = r.u32();
+  const auto rest = r.raw(r.remaining());
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return std::vector<std::uint8_t>(rest.begin(), rest.end());
+}
+
+}  // namespace
+
+TaskRegistry& TaskRegistry::global() {
+  static TaskRegistry* registry = new TaskRegistry();
+  return *registry;
+}
+
+void TaskRegistry::add(const std::string& kind, TaskHandler handler) {
+  std::lock_guard lock(mu_);
+  handlers_[kind] = std::move(handler);
+}
+
+const TaskHandler* TaskRegistry::find(const std::string& kind) const {
+  std::lock_guard lock(mu_);
+  const auto it = handlers_.find(kind);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+void register_builtin_tasks() {
+  TaskRegistry& reg = TaskRegistry::global();
+  reg.add("shuffle_map", shuffle_map_task);
+  reg.add("shuffle_reduce", shuffle_reduce_task);
+  reg.add("sleep_echo", sleep_echo_task);
+}
+
+StoredBlock WorkerContext::fetch_block(std::uint16_t port,
+                                       const BlockId& id) const {
+  if (port == server.port()) {
+    auto local = blocks.get(id.key());
+    if (!local) {
+      throw MissingBlockError(id.map_task,
+                              "block " + id.key() + " not in local store");
+    }
+    return *local;
+  }
+  ByteWriter w;
+  encode_block_id(w, id);
+  net::ChannelConfig cfg;
+  cfg.connect_timeout_ms = server.config().peer_timeout_ms;
+  cfg.call_timeout_ms = server.config().peer_timeout_ms;
+  cfg.max_attempts = 2;
+  cfg.limits = server.config().limits;
+  net::RetriableChannel peer("127.0.0.1", port, cfg);
+  net::Frame resp;
+  try {
+    resp = peer.call(kFetchBlock, std::span<const std::uint8_t>(
+                                      w.bytes().data(), w.bytes().size()));
+  } catch (const net::ChannelError& e) {
+    throw MissingBlockError(id.map_task, "fetching block " + id.key() +
+                                             " from port " +
+                                             std::to_string(port) +
+                                             " failed: " + e.what());
+  }
+  if (resp.type != kBlockData) {
+    ByteReader br(std::span<const std::uint8_t>(resp.payload.data(),
+                                                resp.payload.size()));
+    throw MissingBlockError(id.map_task, "peer at port " +
+                                             std::to_string(port) +
+                                             " has no block " + id.key() +
+                                             ": " + br.str());
+  }
+  ByteReader br(std::span<const std::uint8_t>(resp.payload.data(),
+                                              resp.payload.size()));
+  StoredBlock block;
+  block.checksum = br.u64();
+  block.records = br.uvarint();
+  const std::uint64_t n = br.uvarint();
+  const auto bytes = br.raw(n);
+  auto owned = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
+                                                           bytes.end());
+  // Validate on arrival: the frame checksum already guards the transport,
+  // but the block checksum is the shuffle's end-to-end integrity contract.
+  if (engine::shuffle_block_checksum(std::span<const std::uint8_t>(
+          owned->data(), owned->size())) != block.checksum) {
+    throw MissingBlockError(id.map_task, "block " + id.key() +
+                                             " corrupted in transit from "
+                                             "port " +
+                                             std::to_string(port));
+  }
+  block.bytes = std::move(owned);
+  return block;
+}
+
+WorkerServer::WorkerServer(WorkerConfig config)
+    : config_(config),
+      listener_(net::Listener::bind_loopback(config.port)) {}
+
+WorkerServer::~WorkerServer() {
+  request_stop();
+  std::lock_guard lock(threads_mu_);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerServer::serve() {
+  while (!stop_.load()) {
+    net::Socket sock = listener_.accept(config_.poll_interval_ms);
+    if (!sock.valid()) continue;
+    std::lock_guard lock(threads_mu_);
+    threads_.emplace_back(
+        [this, s = std::move(sock)]() mutable { handle_connection(std::move(s)); });
+  }
+}
+
+void WorkerServer::handle_connection(net::Socket sock) {
+  while (!stop_.load()) {
+    if (!sock.wait_readable(config_.poll_interval_ms)) continue;
+    net::Frame request;
+    try {
+      request = net::read_frame(sock, config_.limits, config_.io_timeout_ms);
+    } catch (const net::FrameEof&) {
+      return;
+    } catch (const std::runtime_error&) {
+      return;  // malformed or dead connection: drop it
+    }
+    net::Frame response = handle_message(request);
+    response.request_id = request.request_id;
+    try {
+      net::write_frame(sock, response, config_.io_timeout_ms);
+    } catch (const std::runtime_error&) {
+      return;
+    }
+    if (request.type == kShutdown) {
+      request_stop();
+      return;
+    }
+  }
+}
+
+net::Frame WorkerServer::handle_message(const net::Frame& request) {
+  net::Frame response;
+  switch (request.type) {
+    case kPing: {
+      ByteWriter w;
+      w.i32(config_.worker_id);
+      w.u64(blocks_.count());
+      w.u64(blocks_.total_bytes());
+      w.u64(tasks_executed_.load());
+      response.type = kPong;
+      response.payload = w.take();
+      return response;
+    }
+    case kShutdown: {
+      response.type = kShutdownOk;
+      return response;
+    }
+    case kFetchBlock: {
+      ByteReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                 request.payload.size()));
+      BlockId id;
+      try {
+        id = decode_block_id(r);
+      } catch (const std::exception& e) {
+        ByteWriter w;
+        w.str(std::string("bad fetch request: ") + e.what());
+        response.type = kBlockError;
+        response.payload = w.take();
+        return response;
+      }
+      const auto block = blocks_.get(id.key());
+      if (!block) {
+        ByteWriter w;
+        w.str("no such block: " + id.key());
+        response.type = kBlockError;
+        response.payload = w.take();
+        return response;
+      }
+      ByteWriter w;
+      w.u64(block->checksum);
+      w.uvarint(block->records);
+      w.uvarint(block->bytes->size());
+      w.raw(std::span<const std::uint8_t>(block->bytes->data(),
+                                          block->bytes->size()));
+      response.type = kBlockData;
+      response.payload = w.take();
+      return response;
+    }
+    case kRunTask: {
+      TaskRequest req;
+      try {
+        ByteReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                   request.payload.size()));
+        req = decode_task_request(r);
+      } catch (const std::exception& e) {
+        ByteWriter w;
+        encode_task_error(w, {TaskErrorCode::kExecution, 0,
+                              std::string("bad task request: ") + e.what()});
+        response.type = kTaskError;
+        response.payload = w.take();
+        return response;
+      }
+      const TaskHandler* handler = TaskRegistry::global().find(req.kind);
+      if (handler == nullptr) {
+        ByteWriter w;
+        encode_task_error(w, {TaskErrorCode::kUnknownKind, 0,
+                              "no handler for task kind '" + req.kind + "'"});
+        response.type = kTaskError;
+        response.payload = w.take();
+        return response;
+      }
+      WorkerContext ctx{*this, blocks_, buffer_pool_};
+      try {
+        // The span mirrors the driver-side task span: worker traces (when
+        // enabled) show the same (stage, task, attempt) identity.
+        trace::ScopedSpan span(req.stage, trace::SpanKind::kTask,
+                               static_cast<std::int64_t>(req.task),
+                               req.attempt);
+        std::vector<std::uint8_t> result = (*handler)(ctx, req);
+        tasks_executed_.fetch_add(1);
+        response.type = kTaskOk;
+        response.payload = std::move(result);
+        return response;
+      } catch (const MissingBlockError& e) {
+        ByteWriter w;
+        encode_task_error(
+            w, {TaskErrorCode::kMissingBlock, e.map_task(), e.what()});
+        response.type = kTaskError;
+        response.payload = w.take();
+        return response;
+      } catch (const std::exception& e) {
+        ByteWriter w;
+        encode_task_error(w, {TaskErrorCode::kExecution, 0, e.what()});
+        response.type = kTaskError;
+        response.payload = w.take();
+        return response;
+      }
+    }
+    default: {
+      ByteWriter w;
+      encode_task_error(w, {TaskErrorCode::kExecution, 0,
+                            "unknown message type " +
+                                std::to_string(request.type)});
+      response.type = kTaskError;
+      response.payload = w.take();
+      return response;
+    }
+  }
+}
+
+}  // namespace gpf::runtime

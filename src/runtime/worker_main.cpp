@@ -1,0 +1,63 @@
+// gpf_worker — the worker process of the distributed runtime.
+//
+//   gpf_worker [--port=N] [--id=K] [--trace-out=FILE]
+//
+// Binds 127.0.0.1:<port> (0 = kernel-assigned), prints
+// "GPF_WORKER_READY port=<bound port>" on stdout (the driver's spawn
+// handshake), then serves until a kShutdown frame arrives.  With
+// --trace-out, the worker's task spans are exported as Chrome trace JSON
+// on exit.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/trace.hpp"
+#include "runtime/worker.hpp"
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  value = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gpf::runtime::WorkerConfig config;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--port", value)) {
+      config.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (parse_flag(argv[i], "--id", value)) {
+      config.worker_id = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--trace-out", value)) {
+      trace_out = value;
+    } else {
+      std::fprintf(stderr, "gpf_worker: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  gpf::runtime::register_builtin_tasks();
+  if (!trace_out.empty()) gpf::trace::TraceRecorder::global().enable();
+
+  try {
+    gpf::runtime::WorkerServer server(config);
+    std::printf("GPF_WORKER_READY port=%u\n", server.port());
+    std::fflush(stdout);
+    server.serve();
+    if (!trace_out.empty()) {
+      const auto spans = gpf::trace::TraceRecorder::global().drain();
+      gpf::trace::write_chrome_trace_file(trace_out, spans);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpf_worker: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

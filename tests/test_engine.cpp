@@ -422,6 +422,60 @@ TEST(SerializedDataset, PersistWithoutCodecThrows) {
                std::invalid_argument);
 }
 
+// Regression for the zero-copy adoption audit: persist() encodes into
+// pooled buffers and adopts them into shared storage, so the buffers must
+// leave the pool for good.  Churning the pool afterwards (codec shuffles
+// acquiring and releasing buffers) must never touch the adopted bytes —
+// if BufferPool::release ever recycled live aliased storage, the next
+// acquirer would overwrite a block and the checksums recorded at persist
+// time would no longer verify.
+TEST(SerializedDataset, AdoptedBlocksSurvivePoolChurn) {
+  Engine engine({.worker_threads = 4});
+  ShuffleCodec<int> codec;
+  codec.encode = [](std::span<const int> xs) {
+    std::vector<std::uint8_t> out(xs.size() * sizeof(int));
+    if (!out.empty()) std::memcpy(out.data(), xs.data(), out.size());
+    return out;
+  };
+  codec.decode = [](std::span<const std::uint8_t> bytes) {
+    std::vector<int> out(bytes.size() / sizeof(int));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  };
+  // Pooled encode path: persist adopts buffers acquired from the pool.
+  codec.encode_into = [](std::span<const int> xs,
+                         std::vector<std::uint8_t>& out) {
+    out.resize(xs.size() * sizeof(int));
+    if (!out.empty()) std::memcpy(out.data(), xs.data(), out.size());
+  };
+
+  auto ds = engine.parallelize(iota_vec(400), 4).with_codec(codec);
+  const auto persisted = SerializedDataset<int>::persist(ds, codec, "adopt");
+  const auto meta_before = persisted.block_meta();
+  ASSERT_EQ(meta_before.size(), 4u);
+
+  // Pool churn: every shuffle round acquires pooled buffers for its blocks
+  // and releases them after the reduce.  If any adopted block's storage
+  // were still reachable from the free list, this would scribble over it.
+  for (int round = 0; round < 3; ++round) {
+    auto shuffled =
+        ds.shuffle("churn" + std::to_string(round), 3, [](const int& x) {
+          return static_cast<std::uint64_t>(x) * 2654435761u;
+        });
+    EXPECT_EQ(shuffled.count(), 400u);
+  }
+  EXPECT_GT(engine.buffer_pool().reuse_count(), 0u);
+
+  // The adopted blocks still verify against their persist-time checksums
+  // and round-trip bit-identically.
+  const auto restored = persisted.materialize("adopt").collect();
+  EXPECT_EQ(restored, iota_vec(400));
+  for (std::size_t i = 0; i < meta_before.size(); ++i) {
+    EXPECT_EQ(persisted.block_meta()[i].checksum, meta_before[i].checksum);
+    EXPECT_EQ(persisted.block_meta()[i].records, meta_before[i].records);
+  }
+}
+
 // --- buffer pool ------------------------------------------------------------
 
 TEST(BufferPool, RecyclesReleasedCapacity) {

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <string>
@@ -19,6 +20,7 @@
 
 #include "engine/dataset.hpp"
 #include "engine/fault_injector.hpp"
+#include "engine/serialized.hpp"
 #include "simcluster/cluster.hpp"
 #include "simcluster/trace.hpp"
 
@@ -26,10 +28,9 @@ namespace gpf::engine {
 namespace {
 
 std::uint64_t chaos_seed() {
-  if (const char* s = std::getenv("GPF_CHAOS_SEED")) {
-    return std::strtoull(s, nullptr, 10);
-  }
-  return 42;
+  // Strict parse: a malformed GPF_CHAOS_SEED aborts the suite instead of
+  // silently collapsing the CI sweep onto one default seed.
+  return seed_from_env("GPF_CHAOS_SEED", 42);
 }
 
 std::vector<int> iota_vec(int n) {
@@ -385,6 +386,86 @@ TEST(Chaos, PersistentCorruptionFailsTheReduceTask) {
     EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
   }
   EXPECT_TRUE(engine.metrics().stages().back().failed);
+}
+
+TEST(Chaos, CorruptedPersistedBlockIsRetriedAndHeals) {
+  // The zero-copy persist path carries the same integrity contract as the
+  // in-flight shuffle: a corrupted adopted block fails its checksum in
+  // materialize() and the attempt is retried against the pristine bytes.
+  Engine engine({.worker_threads = 2});
+  engine.set_fault_injector(std::make_shared<FaultInjector>(
+      chaos_seed(),
+      std::vector<FaultRule>{FaultRule::corrupt_block(
+          "cache.materialize", /*map_task=*/1, /*block=*/0)}));
+  auto ds = engine.parallelize(iota_vec(120), 4);
+  const auto persisted =
+      SerializedDataset<int>::persist(ds, int_codec(), "cache");
+  const auto restored = persisted.materialize("cache").collect();
+  EXPECT_EQ(restored, iota_vec(120));
+  const auto& stage = engine.metrics().stages().back();
+  EXPECT_EQ(stage.name, "cache.materialize");
+  EXPECT_FALSE(stage.failed);
+  EXPECT_EQ(stage.failed_attempts, 1u);  // the poisoned decode attempt
+  EXPECT_EQ(stage.task_retries, 1u);
+  EXPECT_EQ(engine.fault_injector()->injected_corruptions(), 1u);
+}
+
+TEST(Chaos, PersistentPersistedCorruptionFailsMaterialize) {
+  Engine engine({.worker_threads = 2, .max_task_retries = 2});
+  engine.set_fault_injector(std::make_shared<FaultInjector>(
+      chaos_seed(),
+      std::vector<FaultRule>{FaultRule::corrupt_block(
+          "cache.materialize", 0, 0, /*attempts=*/-1)}));
+  auto ds = engine.parallelize(iota_vec(60), 3);
+  const auto persisted =
+      SerializedDataset<int>::persist(ds, int_codec(), "cache");
+  try {
+    persisted.materialize("cache");
+    FAIL() << "expected StageFailure";
+  } catch (const StageFailure& e) {
+    EXPECT_EQ(e.stage(), "cache.materialize");
+    EXPECT_EQ(e.task(), 0u);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  EXPECT_TRUE(engine.metrics().stages().back().failed);
+}
+
+TEST(SeedParse, AcceptsCanonicalDecimal) {
+  EXPECT_EQ(parse_seed("0"), 0u);
+  EXPECT_EQ(parse_seed("42"), 42u);
+  EXPECT_EQ(parse_seed("007"), 7u);
+  EXPECT_EQ(parse_seed("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SeedParse, RejectsMalformedValues) {
+  const char* bad_values[] = {
+      "",      " ",      "abc",   "12abc", "abc12",
+      "-1",    "+5",     " 7",    "7 ",    "1.5",
+      "0x10",  "1e9",    "1,000", "18446744073709551616",
+      "999999999999999999999999999"};
+  for (const char* bad : bad_values) {
+    EXPECT_THROW(parse_seed(bad), std::invalid_argument)
+        << "accepted \"" << bad << '"';
+  }
+}
+
+TEST(SeedParse, EnvReadsFallbacksAndRejects) {
+  unsetenv("GPF_TEST_SEED");
+  EXPECT_EQ(seed_from_env("GPF_TEST_SEED", 7), 7u);
+  setenv("GPF_TEST_SEED", "123", 1);
+  EXPECT_EQ(seed_from_env("GPF_TEST_SEED", 7), 123u);
+  setenv("GPF_TEST_SEED", "bogus", 1);
+  try {
+    seed_from_env("GPF_TEST_SEED", 7);
+    FAIL() << "malformed env seed accepted";
+  } catch (const std::invalid_argument& e) {
+    // The error must name the variable and the offending value.
+    EXPECT_NE(std::string(e.what()).find("GPF_TEST_SEED"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+  unsetenv("GPF_TEST_SEED");
 }
 
 TEST(Chaos, GroupByUnderRandomFaultsKeepsGroupsComplete) {

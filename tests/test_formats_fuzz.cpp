@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "common/simd.hpp"
+#include "engine/fault_injector.hpp"
 #include "formats/fastq.hpp"
 #include "formats/sam.hpp"
 #include "formats/scan.hpp"
@@ -27,10 +28,9 @@ namespace {
 constexpr int kCasesPerFormat = 1200;
 
 std::uint64_t fuzz_seed() {
-  if (const char* s = std::getenv("GPF_FUZZ_SEED")) {
-    return std::strtoull(s, nullptr, 10);
-  }
-  return 42;
+  // Strict parse: a malformed GPF_FUZZ_SEED aborts the suite instead of
+  // silently collapsing the CI sweep onto one default seed.
+  return engine::seed_from_env("GPF_FUZZ_SEED", 42);
 }
 
 /// Outcome of a parse attempt: the value, or the error message.

@@ -1,0 +1,532 @@
+// Runtime suite: wire framing, the retriable channel, and the REAL
+// multi-process distributed runtime over loopback.
+//
+// The loopback tests spawn actual gpf_worker processes (GPF_WORKER_BIN is
+// injected by CMake), run a socket shuffle through them, and compare the
+// result bit for bit against the single-process engine — including while a
+// worker is SIGKILLed mid-stage.  Recovery must flow through the SAME
+// fault-tolerant stage executor the in-process engine uses: a dead worker
+// surfaces as WorkerLost (retried on another worker) or as a missing block
+// (recomputed from lineage), never as a second recovery mechanism.
+//
+// The framing fuzz runs under GPF_FUZZ_SEED (swept by CI alongside the
+// parser fuzz); decode_frame must reject arbitrary garbage with a typed
+// FrameError, never crash or mis-parse.
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "engine/dataset.hpp"
+#include "engine/fault_injector.hpp"
+#include "net/channel.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "runtime/distributed.hpp"
+#include "runtime/worker.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace gpf::runtime {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  return engine::seed_from_env("GPF_FUZZ_SEED", 42);
+}
+
+std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(Frame, RoundTrip) {
+  net::Frame f;
+  f.type = 7;
+  f.request_id = 0x1122334455667788ULL;
+  f.payload = bytes_of("genomes in flight");
+  const auto wire = net::encode_frame(f);
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + f.payload.size());
+  const net::Frame back = net::decode_frame(as_span(wire));
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.request_id, f.request_id);
+  EXPECT_EQ(back.payload, f.payload);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  net::Frame f;
+  f.type = 1;
+  const auto wire = net::encode_frame(f);
+  const net::Frame back = net::decode_frame(as_span(wire));
+  EXPECT_EQ(back.type, 1u);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Frame, BadMagicRejected) {
+  auto wire = net::encode_frame(net::Frame{2, 9, bytes_of("x")});
+  wire[0] ^= 0xff;
+  try {
+    net::decode_frame(as_span(wire));
+    FAIL() << "bad magic accepted";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), net::FrameFault::kBadMagic);
+  }
+}
+
+TEST(Frame, TruncatedHeaderRejected) {
+  const auto wire = net::encode_frame(net::Frame{2, 9, bytes_of("abc")});
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{4},
+                                net::kFrameHeaderBytes - 1}) {
+    try {
+      net::decode_frame(std::span<const std::uint8_t>(wire.data(), cut));
+      FAIL() << "accepted " << cut << "-byte header";
+    } catch (const net::FrameError& e) {
+      EXPECT_EQ(e.fault(), net::FrameFault::kTruncated);
+    }
+  }
+}
+
+TEST(Frame, TruncatedPayloadRejected) {
+  const auto wire = net::encode_frame(net::Frame{2, 9, bytes_of("abcdef")});
+  try {
+    net::decode_frame(
+        std::span<const std::uint8_t>(wire.data(), wire.size() - 2));
+    FAIL() << "accepted truncated payload";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), net::FrameFault::kTruncated);
+  }
+}
+
+TEST(Frame, OversizedPayloadRejected) {
+  net::Frame f;
+  f.type = 3;
+  f.payload.assign(64, 0xab);
+  const auto wire = net::encode_frame(f);
+  net::FrameLimits limits;
+  limits.max_payload = 16;
+  try {
+    net::decode_frame(as_span(wire), limits);
+    FAIL() << "oversized payload accepted";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), net::FrameFault::kOversized);
+  }
+}
+
+TEST(Frame, CorruptedPayloadFailsChecksum) {
+  auto wire = net::encode_frame(net::Frame{2, 9, bytes_of("precious bytes")});
+  wire[net::kFrameHeaderBytes + 3] ^= 0x01;
+  try {
+    net::decode_frame(as_span(wire));
+    FAIL() << "corrupted payload accepted";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), net::FrameFault::kChecksum);
+  }
+}
+
+TEST(Frame, GarbageRejected) {
+  std::vector<std::uint8_t> garbage(256, 0xff);
+  EXPECT_THROW(net::decode_frame(as_span(garbage)), net::FrameError);
+}
+
+// Deterministic framing fuzz: random buffers and single-byte mutations of
+// valid frames must always produce either a clean decode or a typed
+// FrameError — any other exception (or a crash) is a bug.  Flips inside
+// the payload region must never decode silently: FNV-1a's per-byte step
+// h = (h ^ b) * prime is injective in h, so a single-byte change always
+// changes the final checksum.
+TEST(FrameFuzz, GarbageAndMutationsNeverCrash) {
+  Rng rng(fuzz_seed());
+  net::FrameLimits limits;
+  limits.max_payload = 1 << 16;
+  int rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> blob;
+    bool payload_mutated = false;
+    if (iter % 2 == 0) {
+      // Pure garbage of random length.
+      blob.resize(rng.below(200));
+      for (auto& b : blob) b = static_cast<std::uint8_t>(rng.below(256));
+    } else {
+      // A valid frame with one byte flipped somewhere.
+      net::Frame f;
+      f.type = static_cast<std::uint32_t>(rng.below(16));
+      f.request_id = rng.next();
+      f.payload.resize(1 + rng.below(64));
+      for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.below(256));
+      blob = net::encode_frame(f);
+      const std::size_t at = rng.below(blob.size());
+      blob[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      payload_mutated = at >= net::kFrameHeaderBytes;
+    }
+    try {
+      net::Frame out = net::decode_frame(as_span(blob), limits);
+      EXPECT_LE(out.payload.size(), limits.max_payload);
+      EXPECT_FALSE(payload_mutated)
+          << "seed " << fuzz_seed() << " iter " << iter
+          << ": mutated payload decoded cleanly";
+    } catch (const net::FrameError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Frame, RoundTripOverSocket) {
+  net::Listener listener = net::Listener::bind_loopback(0);
+  net::Socket client = net::Socket::connect_tcp("127.0.0.1", listener.port(),
+                                                2000);
+  net::Socket server = listener.accept(2000);
+  ASSERT_TRUE(server.valid());
+
+  net::Frame f;
+  f.type = 11;
+  f.request_id = 99;
+  f.payload = bytes_of("over the wire");
+  net::write_frame(client, f, 2000);
+  const net::Frame got = net::read_frame(server, {}, 2000);
+  EXPECT_EQ(got.type, f.type);
+  EXPECT_EQ(got.request_id, f.request_id);
+  EXPECT_EQ(got.payload, f.payload);
+}
+
+TEST(Frame, CleanDisconnectIsEof) {
+  net::Listener listener = net::Listener::bind_loopback(0);
+  net::Socket client = net::Socket::connect_tcp("127.0.0.1", listener.port(),
+                                                2000);
+  net::Socket server = listener.accept(2000);
+  ASSERT_TRUE(server.valid());
+  client.close();
+  EXPECT_THROW(net::read_frame(server, {}, 2000), net::FrameEof);
+}
+
+TEST(Frame, MidFrameDisconnectIsTruncated) {
+  net::Listener listener = net::Listener::bind_loopback(0);
+  net::Socket client = net::Socket::connect_tcp("127.0.0.1", listener.port(),
+                                                2000);
+  net::Socket server = listener.accept(2000);
+  ASSERT_TRUE(server.valid());
+  const auto wire = net::encode_frame(net::Frame{5, 1, bytes_of("partial")});
+  client.send_all(wire.data(), 9, 2000);  // header cut short
+  client.close();
+  try {
+    net::read_frame(server, {}, 2000);
+    FAIL() << "mid-frame EOF accepted";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), net::FrameFault::kTruncated);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel + in-process WorkerServer
+
+/// Runs a WorkerServer on a background thread for the duration of a test.
+class ServerGuard {
+ public:
+  explicit ServerGuard(WorkerConfig config = {}) : server_(config) {
+    thread_ = std::thread([this] { server_.serve(); });
+  }
+  ~ServerGuard() {
+    server_.request_stop();
+    thread_.join();
+  }
+  WorkerServer& operator*() { return server_; }
+  WorkerServer* operator->() { return &server_; }
+
+ private:
+  WorkerServer server_;
+  std::thread thread_;
+};
+
+std::vector<std::uint8_t> sleep_echo_payload(std::uint32_t sleep_ms,
+                                             const std::string& echo) {
+  ByteWriter w;
+  w.u32(sleep_ms);
+  w.raw(as_span(bytes_of(echo)));
+  return w.take();
+}
+
+std::vector<std::uint8_t> run_task_payload(const std::string& kind,
+                                           std::vector<std::uint8_t> body) {
+  TaskRequest req;
+  req.kind = kind;
+  req.stage = "test";
+  req.payload = std::move(body);
+  ByteWriter w;
+  encode_task_request(w, req);
+  return w.take();
+}
+
+TEST(Channel, PingAndEcho) {
+  register_builtin_tasks();
+  ServerGuard server;
+  net::RetriableChannel chan("127.0.0.1", server->port());
+
+  const net::Frame pong = chan.call(kPing, {});
+  ASSERT_EQ(pong.type, kPong);
+  ByteReader r(as_span(pong.payload));
+  EXPECT_EQ(r.i32(), 0);  // worker_id
+
+  const auto payload =
+      run_task_payload("sleep_echo", sleep_echo_payload(0, "hello"));
+  const net::Frame resp = chan.call(kRunTask, as_span(payload));
+  ASSERT_EQ(resp.type, kTaskOk);
+  EXPECT_EQ(resp.payload, bytes_of("hello"));
+  EXPECT_EQ(server->tasks_executed(), 1u);
+}
+
+TEST(Channel, UnknownTaskKindIsTypedError) {
+  register_builtin_tasks();
+  ServerGuard server;
+  net::RetriableChannel chan("127.0.0.1", server->port());
+  const auto payload = run_task_payload("no_such_kind", {});
+  const net::Frame resp = chan.call(kRunTask, as_span(payload));
+  ASSERT_EQ(resp.type, kTaskError);
+  ByteReader r(as_span(resp.payload));
+  const TaskError err = decode_task_error(r);
+  EXPECT_EQ(err.code, TaskErrorCode::kUnknownKind);
+}
+
+TEST(Channel, ExhaustsRetriesAgainstDeadPort) {
+  // Grab an ephemeral port and close the listener so nothing answers.
+  std::uint16_t dead_port;
+  {
+    net::Listener l = net::Listener::bind_loopback(0);
+    dead_port = l.port();
+  }
+  net::ChannelConfig cfg;
+  cfg.connect_timeout_ms = 100;
+  cfg.call_timeout_ms = 100;
+  cfg.max_attempts = 3;
+  cfg.backoff_initial_ms = 1;
+  cfg.backoff_max_ms = 5;
+  net::RetriableChannel chan("127.0.0.1", dead_port, cfg);
+  EXPECT_THROW(chan.call(kPing, {}), net::ChannelError);
+}
+
+TEST(Channel, SlowResponseTimesOut) {
+  register_builtin_tasks();
+  ServerGuard server;
+  net::RetriableChannel chan("127.0.0.1", server->port());
+  const auto payload =
+      run_task_payload("sleep_echo", sleep_echo_payload(2000, "late"));
+  EXPECT_THROW(chan.call(kRunTask, as_span(payload), /*timeout_ms=*/100,
+                         /*max_attempts=*/1),
+               net::ChannelError);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process loopback runtime
+
+WorkerPoolConfig pool_config() {
+  WorkerPoolConfig cfg;
+  cfg.worker_binary = GPF_WORKER_BIN;
+  return cfg;
+}
+
+/// Deterministic 8-byte records (the key_u64 partitioner's native shape).
+std::vector<RecordPartition> make_inputs(std::size_t n_parts,
+                                         std::size_t records_per_part,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RecordPartition> inputs(n_parts);
+  for (auto& part : inputs) {
+    std::vector<std::uint64_t> xs(records_per_part);
+    for (auto& x : xs) x = rng.next();
+    part = u64_records(xs);
+  }
+  return inputs;
+}
+
+/// The single-process engine's answer for the same shuffle: the loopback
+/// runtime must match this bit for bit.
+std::vector<RecordPartition> single_process_shuffle(
+    const std::vector<RecordPartition>& inputs, std::size_t num_out) {
+  engine::Engine eng;
+  auto ds = eng.make_dataset(inputs);
+  auto shuffled = ds.shuffle("ref.shuffle", num_out,
+                             [](const std::vector<std::uint8_t>& rec) {
+                               std::uint64_t key = 0;
+                               std::memcpy(&key, rec.data(), 8);
+                               return key;
+                             });
+  return shuffled.partitions();
+}
+
+TEST(Loopback, ShuffleMatchesSingleProcessBitForBit) {
+  const auto inputs = make_inputs(4, 200, 1234);
+  const std::size_t num_out = 5;
+  const auto expected = single_process_shuffle(inputs, num_out);
+
+  WorkerPool pool(pool_config());
+  pool.spawn_local(3);
+  engine::Engine eng;
+  DistributedShuffleOptions opt;
+  opt.partitioner = "key_u64";
+  const auto got =
+      distributed_shuffle(eng, pool, "dist.shuffle", inputs, num_out, opt);
+
+  EXPECT_EQ(got, expected);
+  ASSERT_EQ(eng.metrics().stage_count(), 1u);
+  const auto& stage = eng.metrics().stages().back();
+  EXPECT_TRUE(stage.wide);
+  EXPECT_GT(stage.shuffle_write_bytes, 0u);
+  EXPECT_EQ(stage.shuffle_write_bytes, stage.shuffle_read_bytes);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, SigkillMidMapStageRecovers) {
+  const auto inputs = make_inputs(6, 64, 77);
+  const std::size_t num_out = 4;
+  const auto expected = single_process_shuffle(inputs, num_out);
+
+  WorkerPool pool(pool_config());
+  pool.spawn_local(3);
+  // One driver thread per map task: every dispatch must be in flight when
+  // the kill lands, regardless of the host's core count (driver threads
+  // just block in socket reads while the workers sleep).
+  engine::Engine eng(engine::EngineConfig{.worker_threads = 6});
+  DistributedShuffleOptions opt;
+  opt.partitioner = "key_u64";
+  // Every map task sleeps 80 ms on the worker; the kill lands at ~40 ms,
+  // guaranteed mid-map, so in-flight dispatches to the victim fail with
+  // WorkerLost and the executor reruns them on the survivors.
+  opt.map_delay_ms = 80;
+
+  std::thread killer([&pool] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    pool.kill_worker(1, SIGKILL);
+  });
+  const auto got =
+      distributed_shuffle(eng, pool, "dist.chaos", inputs, num_out, opt);
+  killer.join();
+
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(pool.alive_count(), 2u);
+  const auto& stage = eng.metrics().stages().back();
+  EXPECT_FALSE(stage.failed);
+  EXPECT_GE(stage.failed_attempts + stage.task_retries, 1u);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, LostBlocksRecomputeFromLineage) {
+  const auto inputs = make_inputs(5, 48, 9001);
+  const std::size_t num_out = 3;
+  const auto expected = single_process_shuffle(inputs, num_out);
+
+  WorkerPool pool(pool_config());
+  pool.spawn_local(3);
+  engine::Engine eng;
+  DistributedShuffleOptions opt;
+  opt.partitioner = "key_u64";
+  // Kill a worker AFTER its map blocks are committed and before any
+  // reduce dispatch: its blocks are gone, so reduce tasks hit
+  // kMissingBlock and the driver recomputes the dead worker's map tasks
+  // from the driver-held inputs (lineage), then retries the reduce.
+  opt.on_map_complete = [&pool] { pool.kill_worker(0, SIGKILL); };
+
+  const auto got =
+      distributed_shuffle(eng, pool, "dist.lineage", inputs, num_out, opt);
+
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(pool.alive_count(), 2u);
+  const auto& stage = eng.metrics().stages().back();
+  EXPECT_FALSE(stage.failed);
+  // At least one reduce attempt died on the missing block and retried.
+  EXPECT_GE(stage.task_retries, 1u);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, HeartbeatDetectsSilentDeath) {
+  WorkerPool pool(pool_config());
+  pool.spawn_local(2);
+  ASSERT_EQ(pool.alive_count(), 2u);
+
+  // Kill the process directly (not via kill_worker, which marks it dead
+  // itself) so only the heartbeat monitor can notice.
+  ::kill(pool.info(1).pid, SIGKILL);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.alive(1) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(pool.alive(1));
+  EXPECT_EQ(pool.alive_count(), 1u);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, InjectedStragglerTriggersSpeculation) {
+  const auto inputs = make_inputs(4, 32, 555);
+  const std::size_t num_out = 2;
+  const auto expected = single_process_shuffle(inputs, num_out);
+
+  WorkerPool pool(pool_config());
+  pool.spawn_local(2);
+  engine::Engine eng;
+  // Driver-side straggler on map task 0, above the 20 ms speculation
+  // threshold: the stage executor launches a speculative copy on another
+  // worker and the first finisher wins — same machinery, real processes.
+  auto injector = std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{
+             engine::FaultRule::delay_task("dist.spec", 0, 60.0)});
+  eng.set_fault_injector(injector);
+
+  DistributedShuffleOptions opt;
+  opt.partitioner = "key_u64";
+  const auto got =
+      distributed_shuffle(eng, pool, "dist.spec", inputs, num_out, opt);
+
+  EXPECT_EQ(got, expected);
+  const auto& stage = eng.metrics().stages().back();
+  EXPECT_EQ(stage.speculative_launches, 1u);
+  EXPECT_GE(stage.injected_faults, 1u);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, MissingBlockSurfacesAsTypedError) {
+  WorkerPool pool(pool_config());
+  pool.spawn_local(2);
+
+  // Ask a worker to reduce against a block nobody ever produced.
+  ByteWriter w;
+  w.uvarint(0);  // reduce partition
+  w.uvarint(1);  // one input block
+  w.u16(pool.info(0).port);
+  w.u64(0xdeadbeef);
+  w.uvarint(3);
+  TaskRequest req;
+  req.kind = "shuffle_reduce";
+  req.stage = "ghost";
+  req.payload = w.take();
+  try {
+    pool.run_task(req);
+    FAIL() << "reduce over a missing block succeeded";
+  } catch (const RemoteTaskError& e) {
+    EXPECT_EQ(e.error().code, TaskErrorCode::kMissingBlock);
+    EXPECT_EQ(e.error().detail, 0u);
+  }
+  pool.shutdown_all();
+}
+
+TEST(Loopback, AllWorkersDeadIsTerminal) {
+  WorkerPool pool(pool_config());
+  pool.spawn_local(1);
+  pool.kill_worker(0, SIGKILL);
+  TaskRequest req;
+  req.kind = "sleep_echo";
+  req.stage = "none";
+  req.payload = sleep_echo_payload(0, "x");
+  EXPECT_THROW(pool.run_task(req), NoLiveWorkers);
+  pool.shutdown_all();
+}
+
+}  // namespace
+}  // namespace gpf::runtime

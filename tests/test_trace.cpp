@@ -312,6 +312,70 @@ TEST(ChromeTrace, EscapesAwkwardNames) {
   EXPECT_TRUE(found);
 }
 
+// Regression: span names are arbitrary bytes (a hostile FASTQ header or a
+// corrupted stage label can carry anything), and the exporter must still
+// emit valid JSON.  Invalid UTF-8 is escaped as \u00XX; valid multi-byte
+// UTF-8 passes through untouched.  The reference parser folds \u escapes
+// >= 0x80 to '?', which gives the expected round-trip below.
+TEST(ChromeTrace, ArbitraryByteNamesStayValidJson) {
+  struct Case {
+    std::string name;      // raw span name
+    std::string expected;  // after the parser's '?' folding
+  };
+  const std::vector<Case> cases = {
+      // Control characters round-trip exactly (escaped, then unescaped).
+      {std::string("\x01\x02\x1f ctrl\x7f", 9),
+       std::string("\x01\x02\x1f ctrl\x7f", 9)},
+      // Bytes that can never appear in UTF-8.
+      {"bad\xff\xfe tail", "bad?? tail"},
+      // A lone continuation byte and a stray start byte.
+      {"\x80 mid \xc2", "? mid ?"},
+      // Valid multi-byte UTF-8 passes through raw.
+      {"g\xc3\xa9nome \xf0\x9f\xa7\xac", "g\xc3\xa9nome \xf0\x9f\xa7\xac"},
+      // Truncated 3-byte sequence at the end of the name.
+      {"abc\xe2\x82", "abc??"},
+      // Overlong encoding of '/' — must not pass as UTF-8.
+      {"\xc0\xaf", "??"},
+      // UTF-16 surrogate encoded as UTF-8 — invalid.
+      {"\xed\xa0\x80", "???"},
+      // Quotes and backslashes mixed with junk.
+      {"a\"b\\c\xff", "a\"b\\c?"},
+  };
+  std::vector<Span> spans;
+  for (const auto& c : cases) {
+    Span s;
+    s.name = c.name;
+    s.kind = SpanKind::kStage;
+    spans.push_back(std::move(s));
+  }
+  const std::string json = write_chrome_trace(spans);
+  JsonValue doc;
+  ASSERT_NO_THROW(doc = JsonParser(json).parse()) << json;
+  std::vector<std::string> names;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str == "X") names.push_back(e.at("name").str);
+  }
+  ASSERT_EQ(names.size(), cases.size());
+  // write_chrome_trace sorts by track, which preserves the input order for
+  // same-track spans (stable sort).
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(names[i], cases[i].expected) << "case " << i;
+  }
+}
+
+// Every possible single-byte name must still export as parseable JSON.
+TEST(ChromeTrace, EverySingleByteNameParses) {
+  std::vector<Span> spans;
+  for (int b = 0; b < 256; ++b) {
+    Span s;
+    s.name = std::string(1, static_cast<char>(b));
+    s.kind = SpanKind::kStage;
+    spans.push_back(std::move(s));
+  }
+  const std::string json = write_chrome_trace(spans);
+  EXPECT_NO_THROW(JsonParser(json).parse());
+}
+
 TEST(ChromeTrace, EmptySpanListIsStillValidJson) {
   const std::string json = write_chrome_trace(std::vector<Span>{});
   JsonValue doc;
