@@ -1,0 +1,147 @@
+// Out-of-core chunk store bench: chunk encode/write and open/decode
+// throughput, then the spill/reload pipeline against the all-in-memory
+// run at shrinking memory budgets (the residency manager's eviction
+// pressure sweep).
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "engine/dataset.hpp"
+#include "store/chunk_store.hpp"
+#include "store/fastq_chunk.hpp"
+#include "store/spill.hpp"
+
+namespace {
+
+using namespace gpf;
+
+std::vector<FastqRecord> synth_reads(std::size_t n, std::uint64_t seed) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+  const auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  std::vector<FastqRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FastqRecord rec;
+    rec.name = "sim/" + std::to_string(i);
+    const std::size_t len = 150;
+    rec.sequence.reserve(len);
+    rec.quality.reserve(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      rec.sequence.push_back("ACGT"[next() % 4]);
+      // Clustered qualities (small deltas), like real basecallers emit.
+      rec.quality.push_back(static_cast<char>(66 + next() % 8));
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::size_t raw_bytes(const std::vector<FastqRecord>& reads) {
+  std::size_t n = 0;
+  for (const auto& r : reads) {
+    n += r.name.size() + r.sequence.size() + r.quality.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Out-of-core columnar chunk store",
+                "spill/reload vs in-memory (engine + store integration)");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("gpf_bench_oocore_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  const std::size_t kReads = 60'000;
+  const std::size_t kParts = 16;
+  const std::vector<FastqRecord> reads = synth_reads(kReads, 7);
+  const double raw_mb = static_cast<double>(raw_bytes(reads)) / (1 << 20);
+
+  // --- raw chunk write / read throughput -----------------------------------
+  {
+    store::ChunkStore cs({(dir / "thru").string(), std::size_t{1} << 30});
+    const std::span<const FastqRecord> all(reads.data(), reads.size());
+    Timer enc;
+    const store::ChunkData data = store::encode_fastq_chunk(all);
+    const std::vector<std::uint8_t> encoded = store::encode_chunk(data);
+    const double enc_s = enc.seconds();
+    Timer wr;
+    const store::ChunkRef ref = cs.write_encoded("all", encoded, reads.size());
+    const double wr_s = wr.seconds();
+    Timer rd;
+    const auto chunk = cs.open(ref.path);
+    store::ChunkColumns cols;
+    cols.records = chunk->view().records();
+    for (const auto& d : chunk->view().columns()) {
+      cols.columns.push_back(
+          {d.name, d.encoding, chunk->view().column(d.name)});
+    }
+    const auto decoded = store::decode_fastq_chunk(cols);
+    const double rd_s = rd.seconds();
+    const double disk_mb = static_cast<double>(ref.bytes) / (1 << 20);
+    std::printf("%-28s %8.1f MB raw -> %6.1f MB disk (%.2fx)\n",
+                "chunk encode (1 chunk)", raw_mb, disk_mb, raw_mb / disk_mb);
+    std::printf("%-28s %8.1f MB/s\n", "  encode", raw_mb / enc_s);
+    std::printf("%-28s %8.1f MB/s (atomic write+fsync)\n", "  write",
+                disk_mb / wr_s);
+    std::printf("%-28s %8.1f MB/s (%zu records)\n", "  mmap+verify+decode",
+                raw_mb / rd_s, decoded.size());
+  }
+
+  // --- spill/reload pipeline vs in-memory ----------------------------------
+  engine::Engine eng;
+  auto ds = eng.parallelize(reads, kParts);
+  Timer mem;
+  const auto in_memory = ds.collect();
+  const double mem_s = mem.seconds();
+  std::printf("\n%-14s %10s %10s %10s %10s  %s\n", "budget", "spill s",
+              "reload s", "evictions", "resident", "match");
+
+  store::ChunkStore sizing({(dir / "sizing").string(), std::size_t{1} << 30});
+  const auto sized = store::SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), sizing, "sizing");
+  const std::size_t disk = sized.disk_bytes();
+
+  const std::pair<const char*, std::size_t> budgets[] = {
+      {"unbounded", std::size_t{1} << 30},
+      {"disk/2", disk / 2},
+      {"disk/8", disk / 8},
+      {"one chunk", disk / kParts},
+  };
+  int run = 0;
+  for (const auto& [label, budget] : budgets) {
+    store::ChunkStore cs(
+        {(dir / ("run" + std::to_string(run++))).string(), budget});
+    Timer spill;
+    auto spilled = store::SpilledDataset<FastqRecord>::spill(
+        ds, store::fastq_chunk_codec(), cs, "reads");
+    const double spill_s = spill.seconds();
+    Timer load;
+    const auto reloaded = spilled.materialize("reads").collect();
+    const double load_s = load.seconds();
+    const auto stats = cs.residency().stats();
+    std::printf("%-14s %10.3f %10.3f %10llu %10zu  %s\n", label, spill_s,
+                load_s, static_cast<unsigned long long>(stats.evictions),
+                stats.resident_chunks,
+                reloaded == in_memory ? "bit-identical" : "MISMATCH");
+  }
+  std::printf("%-14s %10.3f %10s %10s %10s  (baseline collect)\n",
+              "in-memory", mem_s, "-", "-", "-");
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// FNV-1a 64-bit checksum shared by every integrity layer in the repo.
+//
+// The engine's shuffle blocks, the runtime's wire blocks, and the on-disk
+// chunk store all guard bytes with the same checksum so a block can cross
+// layers (encoded in a shuffle, spilled to a chunk, fetched by a peer)
+// without being re-fingerprinted under a different scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gpf {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace gpf

@@ -1,0 +1,115 @@
+#include "common/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+namespace gpf::fs {
+namespace {
+
+/// Distinct temp names per process *and* per call, so concurrent writers
+/// targeting the same path never share a temp file.
+std::string temp_name(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+[[noreturn]] void fail(const std::string& path, const char* step) {
+  throw std::runtime_error(std::string("atomic write of ") + path +
+                           " failed at " + step + ": " +
+                           std::strerror(errno));
+}
+
+/// Directory part of `path` ("." when there is none), for the directory
+/// fsync that makes the rename itself durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path, "write");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void (*write_failure_hook)() = nullptr;
+
+}  // namespace
+
+namespace testing {
+
+void set_write_failure_hook(void (*hook)()) { write_failure_hook = hook; }
+
+}  // namespace testing
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = temp_name(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) fail(path, "open temp");
+  try {
+    if (write_failure_hook != nullptr) write_failure_hook();
+    write_all(fd, bytes.data(), bytes.size(), path);
+    if (::fsync(fd) != 0) fail(path, "fsync temp");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "close temp");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "rename");
+  }
+  // Make the rename itself durable: fsync the containing directory.  Best
+  // effort on filesystems that refuse directory fds.
+  const int dir = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir >= 0) {
+    ::fsync(dir);
+    ::close(dir);
+  }
+}
+
+void write_file_prefix_for_testing(const std::string& path,
+                                   std::span<const std::uint8_t> bytes,
+                                   std::size_t prefix_bytes) {
+  const std::size_t n = std::min(prefix_bytes, bytes.size());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(path, "open");
+  try {
+    write_all(fd, bytes.data(), n, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) fail(path, "close");
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  atomic_write_file(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(contents.data()),
+                contents.size()));
+}
+
+}  // namespace gpf::fs

@@ -67,7 +67,22 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every chunk before propagating a failure.  Rethrowing on the
+  // first get() would return while queued chunks still reference `fn`,
+  // whose lifetime ends with the caller's stack frame — a use-after-free
+  // once the pool schedules them.  All iterations either ran or threw by
+  // the time this returns; the first exception wins, later ones are
+  // dropped (each retryable body should be idempotent anyway, per the
+  // stage executor's contract).
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

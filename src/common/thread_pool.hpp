@@ -58,6 +58,10 @@ class ThreadPool {
   /// executes its iterations inline on the calling worker, because queued
   /// chunks could otherwise wait forever behind workers that are all
   /// blocked in outer parallel_for calls.
+  /// An exception thrown by `fn` propagates to the caller — after every
+  /// other chunk has finished, so `fn` is never referenced past the call's
+  /// return.  When several chunks throw, the earliest-submitted chunk's
+  /// exception wins.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// True when the calling thread is one of this pool's workers.

@@ -1,0 +1,94 @@
+#include "compress/column_codec.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "compress/bitio.hpp"
+#include "compress/qual_codec.hpp"
+#include "compress/seq_codec.hpp"
+
+namespace gpf {
+
+FastqColumns encode_fastq_columns(std::span<const FastqRecord> records) {
+  FastqColumns cols;
+  cols.records = records.size();
+
+  ByteWriter names;
+  ByteWriter lens;
+  ByteWriter seq;
+  // compress_sequence rewrites the quality string wherever it escapes a
+  // special base, so the escaped qualities — not the originals — are what
+  // the quality codec trains on and encodes.
+  std::vector<std::string> escaped_quals;
+  escaped_quals.reserve(records.size());
+  for (const FastqRecord& rec : records) {
+    names.str(rec.name);
+    lens.uvarint(rec.sequence.size());
+    std::string quality = rec.quality;
+    const CompressedSequence packed = compress_sequence(rec.sequence, quality);
+    seq.raw(std::span<const std::uint8_t>(packed.packed.data(),
+                                          packed.packed.size()));
+    escaped_quals.push_back(std::move(quality));
+  }
+
+  const QualityCodec codec = QualityCodec::train(escaped_quals);
+  BitWriter qual_bits;
+  for (const std::string& q : escaped_quals) codec.encode(q, qual_bits);
+  const std::vector<std::uint8_t> table = codec.serialize_table();
+  const std::vector<std::uint8_t> stream = qual_bits.finish();
+  ByteWriter qual;
+  qual.uvarint(table.size());
+  qual.raw(std::span<const std::uint8_t>(table.data(), table.size()));
+  qual.raw(std::span<const std::uint8_t>(stream.data(), stream.size()));
+
+  cols.names = names.take();
+  cols.lens = lens.take();
+  cols.seq = seq.take();
+  cols.qual = qual.take();
+  return cols;
+}
+
+std::vector<FastqRecord> decode_fastq_columns(const FastqColumns& columns) {
+  FastqColumnsView view;
+  view.records = columns.records;
+  view.names = {columns.names.data(), columns.names.size()};
+  view.lens = {columns.lens.data(), columns.lens.size()};
+  view.seq = {columns.seq.data(), columns.seq.size()};
+  view.qual = {columns.qual.data(), columns.qual.size()};
+  return decode_fastq_columns(view);
+}
+
+std::vector<FastqRecord> decode_fastq_columns(const FastqColumnsView& columns) {
+  std::vector<FastqRecord> out;
+  out.reserve(columns.records);
+
+  ByteReader names(columns.names);
+  ByteReader lens(columns.lens);
+  ByteReader seq(columns.seq);
+  ByteReader qual(columns.qual);
+  const std::size_t table_size = qual.uvarint();
+  const QualityCodec codec = QualityCodec::from_table(qual.raw(table_size));
+  BitReader qual_bits(qual.raw(qual.remaining()));
+
+  for (std::uint64_t i = 0; i < columns.records; ++i) {
+    FastqRecord rec;
+    rec.name = names.str();
+    const std::uint64_t length = lens.uvarint();
+    CompressedSequence packed;
+    packed.length = static_cast<std::uint32_t>(length);
+    const std::span<const std::uint8_t> bytes = seq.raw(packed_size(length));
+    packed.packed.assign(bytes.begin(), bytes.end());
+    // Quality first: decompress_sequence needs the escaped quality bytes
+    // to restore 'N' bases, and repairs them to '#' as it goes.
+    rec.quality = codec.decode(qual_bits);
+    if (rec.quality.size() != length) {
+      throw std::out_of_range("quality/length column disagreement");
+    }
+    rec.sequence = decompress_sequence(packed, rec.quality);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace gpf

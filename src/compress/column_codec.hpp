@@ -1,0 +1,62 @@
+// Columnar FASTQ encoding for the chunk store (AGD-style): a batch of
+// records is decomposed into independent per-field byte columns, each
+// compressed with the codec that fits its distribution —
+//
+//   names : length-prefixed strings, concatenated (headers are already
+//           near-incompressible without reference modelling)
+//   len   : one uvarint per record (read lengths cluster tightly, so
+//           these are almost always 1-2 bytes)
+//   seq   : the 2-bit packed payloads from seq_codec, concatenated;
+//           per-record extents are recovered from the len column via
+//           packed_size(), so no framing bytes are spent here
+//   qual  : a per-chunk-trained delta+Huffman QualityCodec — the
+//           serialized table followed by one bit-packed stream of all
+//           records (sequence N-escapes live in the quality bytes, so
+//           qual is encoded AFTER compress_sequence rewrites it)
+//
+// This layer deliberately knows nothing about the chunk file format; it
+// maps records <-> plain byte vectors, and src/store adapts those to
+// chunk columns.  That keeps compress free of a store dependency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "formats/fastq.hpp"
+
+namespace gpf {
+
+/// Encoding tags stored in each chunk column's footer entry.
+inline constexpr std::uint8_t kColumnEncodingRaw = 0;      // names, len
+inline constexpr std::uint8_t kColumnEncodingPacked2 = 1;  // seq
+inline constexpr std::uint8_t kColumnEncodingQualHuff = 2; // qual
+
+/// One FASTQ batch decomposed into columns.
+struct FastqColumns {
+  std::uint64_t records = 0;
+  std::vector<std::uint8_t> names;
+  std::vector<std::uint8_t> lens;
+  std::vector<std::uint8_t> seq;
+  std::vector<std::uint8_t> qual;
+};
+
+/// The same columns as borrowed spans — decode reads straight out of a
+/// chunk's mmap'd bytes without copying a column.
+struct FastqColumnsView {
+  std::uint64_t records = 0;
+  std::span<const std::uint8_t> names;
+  std::span<const std::uint8_t> lens;
+  std::span<const std::uint8_t> seq;
+  std::span<const std::uint8_t> qual;
+};
+
+/// Decomposes and compresses a batch.
+FastqColumns encode_fastq_columns(std::span<const FastqRecord> records);
+
+/// Reassembles the records.  Throws std::out_of_range when any column is
+/// shorter than its siblings claim (callers translate to typed errors).
+std::vector<FastqRecord> decode_fastq_columns(const FastqColumnsView& columns);
+std::vector<FastqRecord> decode_fastq_columns(const FastqColumns& columns);
+
+}  // namespace gpf

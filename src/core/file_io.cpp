@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fsio.hpp"
+
 namespace gpf::core {
 
 std::string read_file(const std::string& path) {
@@ -16,11 +18,11 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, std::string_view contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  out.write(contents.data(),
-            static_cast<std::streamsize>(contents.size()));
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Atomic (temp + fsync + rename): the old truncate-in-place write left a
+  // torn-write window where a crash mid-write produced a short file that
+  // parses as silently-truncated FASTQ/FASTA/VCF.  Readers now see either
+  // the old bytes or the new bytes, never a prefix.
+  fs::atomic_write_file(path, contents);
 }
 
 std::vector<FastqRecord> load_fastq_file(const std::string& path) {

@@ -17,8 +17,10 @@ namespace gpf::core {
 /// Reads a whole file into memory; throws std::runtime_error with the
 /// path on failure.
 std::string read_file(const std::string& path);
-/// Writes (truncating); throws std::runtime_error with the path on
-/// failure.
+/// Writes atomically (temp file + fsync + rename, via fs::atomic_write_file
+/// — a crash mid-write can never leave a torn file that parses as
+/// silently-short FASTQ/FASTA/VCF); throws std::runtime_error with the
+/// path on failure.
 void write_file(const std::string& path, std::string_view contents);
 
 /// FASTQ ----------------------------------------------------------------

@@ -5,6 +5,13 @@
 // wire.  Blocks are immutable once stored — fetches hand out shared
 // pointers, so a concurrent overwrite (a speculative map copy landing
 // twice) can never mutate bytes a reader is streaming.
+//
+// Keys are namespaced "stage/map_task/reduce_part" (BlockId::key), and the
+// stage prefix doubles as the block generation: when a shuffle completes,
+// the driver releases its whole namespace so blocks from finished jobs do
+// not accumulate across a worker's lifetime and grow its RSS without
+// bound.  Release only erases the map entries — bytes stay alive for any
+// reader still holding a fetched shared pointer.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +61,25 @@ class BlockStore {
   void clear() {
     std::lock_guard lock(mu_);
     blocks_.clear();
+  }
+
+  /// Erases every block whose key lives under `stage`'s namespace (the
+  /// "stage/" key prefix) and returns the bytes released.  Invoked by
+  /// distributed_shuffle on success so completed shuffles stop pinning
+  /// worker memory; safe to call repeatedly (idempotent).
+  std::uint64_t release_namespace(const std::string& stage) {
+    const std::string prefix = stage + "/";
+    std::lock_guard lock(mu_);
+    std::uint64_t released = 0;
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        released += it->second.bytes ? it->second.bytes->size() : 0;
+        it = blocks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return released;
   }
 
  private:

@@ -203,6 +203,28 @@ std::vector<RecordPartition> distributed_shuffle(
       for (const auto& b : m.blocks) stage.shuffle_read_bytes += b.bytes;
     }
   }
+
+  // The shuffle succeeded, so its blocks are dead weight: release the
+  // stage's namespace on every live worker.  Best effort — a worker dying
+  // right here must not fail a job whose results are already in hand (its
+  // store dies with the process anyway).
+  {
+    TaskRequest release;
+    release.kind = "release_blocks";
+    release.stage = stage_name;
+    ByteWriter w;
+    w.str(stage_name);
+    release.payload = w.take();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const int w_id = static_cast<int>(i);
+      if (!pool.alive(w_id)) continue;
+      try {
+        pool.dispatch_to(w_id, release, &engine.buffer_pool());
+      } catch (const WorkerLost&) {
+      } catch (const NoLiveWorkers&) {
+      }
+    }
+  }
   record_stage(engine, std::move(stage), wall, /*failed=*/false);
   return result;
 }

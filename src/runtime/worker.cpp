@@ -131,6 +131,23 @@ std::vector<std::uint8_t> shuffle_reduce_task(WorkerContext& ctx,
   return reply.take();
 }
 
+/// release_blocks: drop every block of the named shuffle's namespace from
+/// this worker's store (the driver broadcasts this once a shuffle
+/// succeeds, so completed jobs stop pinning worker memory).  Replies with
+/// the bytes released and the store's remaining total, which is what the
+/// retention tests assert returns to zero.
+std::vector<std::uint8_t> release_blocks_task(WorkerContext& ctx,
+                                              const TaskRequest& req) {
+  ByteReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                             req.payload.size()));
+  const std::string stage = r.str();
+  const std::uint64_t released = ctx.blocks.release_namespace(stage);
+  ByteWriter reply;
+  reply.u64(released);
+  reply.u64(ctx.blocks.total_bytes());
+  return reply.take();
+}
+
 /// sleep_echo: test aid — sleep, then echo the bytes back.
 std::vector<std::uint8_t> sleep_echo_task(WorkerContext&,
                                           const TaskRequest& req) {
@@ -166,6 +183,7 @@ void register_builtin_tasks() {
   TaskRegistry& reg = TaskRegistry::global();
   reg.add("shuffle_map", shuffle_map_task);
   reg.add("shuffle_reduce", shuffle_reduce_task);
+  reg.add("release_blocks", release_blocks_task);
   reg.add("sleep_echo", sleep_echo_task);
 }
 

@@ -1,0 +1,153 @@
+#include "store/chunk.hpp"
+
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/checksum.hpp"
+
+namespace gpf::store {
+
+void encode_chunk_into(const ChunkData& data, std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  std::vector<ColumnDesc> descs;
+  descs.reserve(data.columns.size());
+  for (const ColumnSpec& col : data.columns) {
+    ColumnDesc d;
+    d.name = col.name;
+    d.encoding = col.encoding;
+    d.offset = w.size();
+    d.size = col.bytes.size();
+    d.checksum = fnv1a64(
+        std::span<const std::uint8_t>(col.bytes.data(), col.bytes.size()));
+    w.raw(std::span<const std::uint8_t>(col.bytes.data(), col.bytes.size()));
+    descs.push_back(std::move(d));
+  }
+
+  ByteWriter footer;
+  footer.u32(kChunkVersion);
+  footer.uvarint(data.records);
+  footer.uvarint(descs.size());
+  for (const ColumnDesc& d : descs) {
+    footer.str(d.name);
+    footer.u8(d.encoding);
+    footer.uvarint(d.offset);
+    footer.uvarint(d.size);
+    footer.u64(d.checksum);
+  }
+  const std::vector<std::uint8_t>& blob = footer.bytes();
+  w.raw(std::span<const std::uint8_t>(blob.data(), blob.size()));
+  w.u64(fnv1a64(std::span<const std::uint8_t>(blob.data(), blob.size())));
+  w.u32(static_cast<std::uint32_t>(blob.size()));
+  w.u64(kChunkMagic);
+  out = w.take();
+}
+
+std::vector<std::uint8_t> encode_chunk(const ChunkData& data) {
+  std::vector<std::uint8_t> out;
+  encode_chunk_into(data, out);
+  return out;
+}
+
+ChunkView ChunkView::parse(std::span<const std::uint8_t> file_bytes) {
+  if (file_bytes.size() < kChunkTrailerBytes) {
+    throw ChunkFormatError(
+        "chunk truncated: " + std::to_string(file_bytes.size()) +
+        " bytes, smaller than the trailer — torn write or not a chunk");
+  }
+  ByteReader trailer(file_bytes.subspan(file_bytes.size() -
+                                        kChunkTrailerBytes));
+  const std::uint64_t footer_checksum = trailer.u64();
+  const std::uint32_t footer_size = trailer.u32();
+  const std::uint64_t magic = trailer.u64();
+  if (magic != kChunkMagic) {
+    throw ChunkFormatError(
+        "chunk end magic missing — torn write or not a chunk");
+  }
+  if (footer_size + kChunkTrailerBytes > file_bytes.size()) {
+    throw ChunkFormatError(
+        "chunk footer extends past the file (footer_size " +
+        std::to_string(footer_size) + ", file " +
+        std::to_string(file_bytes.size()) + " bytes)");
+  }
+  const std::span<const std::uint8_t> blob = file_bytes.subspan(
+      file_bytes.size() - kChunkTrailerBytes - footer_size, footer_size);
+  if (fnv1a64(blob) != footer_checksum) {
+    throw ChunkCorruptionError("chunk footer failed its checksum");
+  }
+
+  ChunkView view;
+  view.file_ = file_bytes;
+  try {
+    ByteReader r(blob);
+    const std::uint32_t version = r.u32();
+    if (version != kChunkVersion) {
+      throw ChunkFormatError("unsupported chunk version " +
+                             std::to_string(version));
+    }
+    view.records_ = r.uvarint();
+    const std::uint64_t count = r.uvarint();
+    view.columns_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ColumnDesc d;
+      d.name = r.str();
+      d.encoding = r.u8();
+      d.offset = r.uvarint();
+      d.size = r.uvarint();
+      d.checksum = r.u64();
+      if (d.offset + d.size >
+          file_bytes.size() - kChunkTrailerBytes - footer_size) {
+        throw ChunkFormatError("column '" + d.name +
+                               "' extends past the chunk's column region");
+      }
+      view.columns_.push_back(std::move(d));
+    }
+  } catch (const std::out_of_range&) {
+    // The footer checksum matched, so a short read here means the writer
+    // produced an inconsistent footer — a format bug, not bit rot.
+    throw ChunkFormatError("chunk footer blob is truncated");
+  }
+  return view;
+}
+
+const ColumnDesc* ChunkView::find(std::string_view name) const {
+  for (const ColumnDesc& d : columns_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+std::span<const std::uint8_t> ChunkView::column_raw(
+    const ColumnDesc& desc) const {
+  return file_.subspan(desc.offset, desc.size);
+}
+
+std::span<const std::uint8_t> ChunkView::column(std::string_view name) const {
+  const ColumnDesc* desc = find(name);
+  if (desc == nullptr) {
+    throw ChunkFormatError("chunk has no column '" + std::string(name) + "'");
+  }
+  const std::span<const std::uint8_t> bytes = column_raw(*desc);
+  if (fnv1a64(bytes) != desc->checksum) {
+    throw ChunkCorruptionError("column '" + std::string(name) +
+                               "' failed its checksum");
+  }
+  return bytes;
+}
+
+std::shared_ptr<const MappedChunk> MappedChunk::open(const std::string& path) {
+  auto chunk = std::make_shared<MappedChunk>();
+  chunk->path_ = path;
+  chunk->file_ = MappedFile::open(path);
+  // Re-throw parse errors with the path prepended, preserving the type so
+  // callers can still distinguish torn/format damage from corruption.
+  try {
+    chunk->view_ = ChunkView::parse(chunk->file_.bytes());
+  } catch (const ChunkCorruptionError& e) {
+    throw ChunkCorruptionError(path + ": " + e.what());
+  } catch (const ChunkFormatError& e) {
+    throw ChunkFormatError(path + ": " + e.what());
+  }
+  return chunk;
+}
+
+}  // namespace gpf::store

@@ -1,0 +1,78 @@
+// The out-of-core chunk store: a directory of chunk files plus a
+// memory-budgeted residency cache over them.
+//
+// Writing is atomic (temp file + rename + fsync via fs::atomic_write_file)
+// so a crash mid-spill leaves either the previous chunk or the new one —
+// never a torn file.  Torn files still occur in two sanctioned ways
+// (write_torn_for_testing, and fault-injected spills that bypass the
+// atomic path on purpose); the chunk trailer catches both at open time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/chunk.hpp"
+#include "store/residency.hpp"
+
+namespace gpf::store {
+
+struct ChunkStoreConfig {
+  /// Directory chunk files live in; created if absent.
+  std::string directory;
+  /// Byte budget for resident (mmap'd) chunks.
+  std::size_t memory_budget = std::size_t{256} << 20;
+};
+
+/// Handle to one written chunk — enough to find and sanity-check it later
+/// without opening the file.
+struct ChunkRef {
+  std::string path;
+  std::uint64_t records = 0;
+  std::size_t bytes = 0;
+};
+
+class ChunkStore {
+ public:
+  explicit ChunkStore(ChunkStoreConfig config);
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  /// Encodes and atomically writes `data` as `<directory>/<name>.gpc`.
+  ChunkRef write(const std::string& name, const ChunkData& data);
+
+  /// Atomically writes an already-encoded chunk image.  `records` is
+  /// carried into the returned ref for bookkeeping only — the file's own
+  /// footer remains the source of truth.
+  ChunkRef write_encoded(const std::string& name,
+                         std::span<const std::uint8_t> encoded,
+                         std::uint64_t records);
+
+  /// Deliberately writes only the first `prefix_bytes` of the encoded
+  /// image, in place and non-atomically — simulates a torn write for
+  /// fault tests.  Returns the ref the full write WOULD have produced.
+  ChunkRef write_torn_for_testing(const std::string& name,
+                                  std::span<const std::uint8_t> encoded,
+                                  std::uint64_t records,
+                                  std::size_t prefix_bytes);
+
+  /// Opens (or returns the resident mapping of) a chunk.  The handle pins
+  /// the mapping for as long as the caller holds it.
+  std::shared_ptr<const MappedChunk> open(const std::string& path) {
+    return residency_.acquire(path);
+  }
+
+  /// The path write() would use for `name`.
+  std::string chunk_path(const std::string& name) const;
+
+  ResidencyManager& residency() { return residency_; }
+  const ChunkStoreConfig& config() const { return config_; }
+
+ private:
+  ChunkStoreConfig config_;
+  ResidencyManager residency_;
+};
+
+}  // namespace gpf::store

@@ -1,0 +1,52 @@
+#include "store/fastq_chunk.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gpf::store {
+
+ChunkData encode_fastq_chunk(std::span<const FastqRecord> records) {
+  FastqColumns cols = encode_fastq_columns(records);
+  ChunkData data;
+  data.records = cols.records;
+  data.columns.reserve(4);
+  data.columns.push_back(
+      {"name", kColumnEncodingRaw, std::move(cols.names)});
+  data.columns.push_back({"len", kColumnEncodingRaw, std::move(cols.lens)});
+  data.columns.push_back(
+      {"seq", kColumnEncodingPacked2, std::move(cols.seq)});
+  data.columns.push_back(
+      {"qual", kColumnEncodingQualHuff, std::move(cols.qual)});
+  return data;
+}
+
+std::vector<FastqRecord> decode_fastq_chunk(const ChunkColumns& columns) {
+  FastqColumnsView view;
+  view.records = columns.records;
+  view.names = columns.column("name");
+  view.lens = columns.column("len");
+  view.seq = columns.column("seq");
+  view.qual = columns.column("qual");
+  try {
+    return decode_fastq_columns(view);
+  } catch (const std::out_of_range& e) {
+    // Checksums passed but the columns disagree with each other — the
+    // writer produced an inconsistent chunk.
+    throw ChunkCorruptionError(std::string("FASTQ chunk columns are "
+                                           "mutually inconsistent: ") +
+                               e.what());
+  }
+}
+
+ChunkCodec<FastqRecord> fastq_chunk_codec() {
+  ChunkCodec<FastqRecord> codec;
+  codec.encode = [](std::span<const FastqRecord> records) {
+    return encode_fastq_chunk(records);
+  };
+  codec.decode = [](const ChunkColumns& columns) {
+    return decode_fastq_chunk(columns);
+  };
+  return codec;
+}
+
+}  // namespace gpf::store

@@ -1,0 +1,25 @@
+// FASTQ <-> chunk adaptation: maps the column codec's byte columns onto
+// named chunk columns (name/len/seq/qual) and packages the pair as a
+// ChunkCodec for SpilledDataset.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "compress/column_codec.hpp"
+#include "formats/fastq.hpp"
+#include "store/spill.hpp"
+
+namespace gpf::store {
+
+/// Encodes a FASTQ batch as chunk columns.
+ChunkData encode_fastq_chunk(std::span<const FastqRecord> records);
+
+/// Decodes records from resolved (already validated) column spans.
+/// Throws ChunkCorruptionError when the columns are mutually inconsistent.
+std::vector<FastqRecord> decode_fastq_chunk(const ChunkColumns& columns);
+
+/// The spill/materialize wiring for FASTQ datasets.
+ChunkCodec<FastqRecord> fastq_chunk_codec();
+
+}  // namespace gpf::store

@@ -1,0 +1,60 @@
+#include "store/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/errors.hpp"
+
+namespace gpf::store {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* step) {
+  throw ChunkIoError("mmap of " + path + " failed at " + step + ": " +
+                     std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "fstat");
+  }
+  MappedFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      fail(path, "mmap");
+    }
+    out.data_ = p;
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace gpf::store

@@ -1,0 +1,41 @@
+// Read-only memory-mapped file: the zero-copy read edge of the chunk
+// store.  Column scans hand out spans into the mapping, so reading a
+// chunk costs page faults, not a read()+copy of the whole file — and the
+// kernel's page cache, not the process heap, holds the cold bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace gpf::store {
+
+/// RAII read-only mapping of a whole file.  Move-only; unmapped on
+/// destruction.  Zero-length files map to an empty span.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only; throws ChunkIoError with the path and errno
+  /// on any failure.
+  static MappedFile open(const std::string& path);
+
+  std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gpf::store

@@ -1,0 +1,72 @@
+#include "store/residency.hpp"
+
+namespace gpf::store {
+
+std::shared_ptr<const MappedChunk> ResidencyManager::acquire(
+    const std::string& path) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      // Touch: move to the MRU end.
+      lru_.splice(lru_.end(), lru_, it->second.lru_it);
+      ++hits_;
+      return it->second.chunk;
+    }
+  }
+  // Open outside the lock: mmap + footer parse can be slow, and a typed
+  // failure must not poison the cache.
+  std::shared_ptr<const MappedChunk> chunk = MappedChunk::open(path);
+  std::lock_guard lock(mu_);
+  ++misses_;
+  const auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    // A concurrent acquire won the race; use its entry and let ours die.
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
+    return it->second.chunk;
+  }
+  lru_.push_back(path);
+  entries_[path] = Entry{chunk, std::prev(lru_.end())};
+  resident_bytes_ += chunk->bytes();
+  evict_to_budget();
+  return chunk;
+}
+
+void ResidencyManager::drop(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.chunk->bytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ResidencyManager::evict_to_budget() {
+  auto it = lru_.begin();
+  while (resident_bytes_ > budget_bytes_ && it != lru_.end()) {
+    const auto entry = entries_.find(*it);
+    // Pinned chunks (a caller still holds the handle) are skipped: the
+    // budget governs retention, it cannot revoke an in-flight scan.
+    if (entry->second.chunk.use_count() > 1) {
+      ++it;
+      continue;
+    }
+    resident_bytes_ -= entry->second.chunk->bytes();
+    entries_.erase(entry);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+ResidencyStats ResidencyManager::stats() const {
+  std::lock_guard lock(mu_);
+  ResidencyStats s;
+  s.resident_chunks = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
+}
+
+}  // namespace gpf::store

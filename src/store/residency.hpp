@@ -1,0 +1,76 @@
+// Memory-budgeted chunk residency: the eviction layer between scans and
+// the on-disk chunks.
+//
+// Every open chunk charges its mapped size against a byte budget.  When
+// an acquire would push the total over budget, unpinned chunks are
+// evicted in LRU order until it fits (or nothing evictable remains — the
+// budget bounds what the MANAGER retains, it never deadlocks a scan that
+// legitimately needs more than the budget pinned at once).  Pinning is
+// implicit: a chunk is pinned exactly while a caller holds the
+// shared_ptr handle acquire() returned, so an in-flight column scan can
+// never have its mapping unmapped underneath it — eviction only drops
+// the manager's reference, and the last handle standing frees the bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "store/chunk.hpp"
+
+namespace gpf::store {
+
+struct ResidencyStats {
+  std::size_t resident_chunks = 0;
+  std::size_t resident_bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResidencyManager {
+ public:
+  explicit ResidencyManager(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  /// Returns a pinned handle to the chunk at `path`, opening (mmap +
+  /// footer validation) on miss.  Typed ChunkError exceptions from a bad
+  /// chunk propagate; nothing is cached for a failed open.  May evict
+  /// other, unpinned chunks to respect the budget.
+  std::shared_ptr<const MappedChunk> acquire(const std::string& path);
+
+  /// Forgets the cached mapping for `path` (e.g. after rewriting the
+  /// file).  Outstanding handles stay valid; the next acquire re-opens.
+  void drop(const std::string& path);
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  ResidencyStats stats() const;
+
+ private:
+  /// Evicts unpinned chunks, LRU first, until resident bytes fit the
+  /// budget.  Caller holds mu_.
+  void evict_to_budget();
+
+  mutable std::mutex mu_;
+  std::size_t budget_bytes_;
+  /// LRU order: front = least recently used.
+  std::list<std::string> lru_;
+  struct Entry {
+    std::shared_ptr<const MappedChunk> chunk;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gpf::store

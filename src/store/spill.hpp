@@ -1,0 +1,217 @@
+// Out-of-core datasets: spill partitions to the chunk store under a
+// memory budget and reload them on demand.
+//
+// SpilledDataset is the disk-backed sibling of SerializedDataset: spill()
+// writes one chunk file per partition (an eager "<name>.spill" stage) and
+// drops the live records; materialize() maps the chunks back and decodes
+// ("<name>.load"), with the ResidencyManager keeping at most the memory
+// budget's worth of chunk bytes mapped.  Both stages run on the
+// fault-tolerant executor, so the failure story is lineage-shaped:
+//
+//  * Spill-side torn writes (injected kTornWrite/kTruncateFooter rules, or
+//    a genuine crash under a non-atomic writer) are caught by the
+//    post-write footer validation; the failed attempt is retried and the
+//    retry REWRITES the chunk from the still-live input partition — a
+//    literal lineage recompute.
+//  * Load-side corruption (injected per-column bit flips, or real at-rest
+//    damage) fails the column checksum with ChunkCorruptionError; the
+//    retry re-reads the pristine mmap bytes.  Damage that persists across
+//    the retry budget surfaces as a typed StageFailure — never a silently
+//    short or wrong decode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "engine/dataset.hpp"
+#include "store/chunk_store.hpp"
+
+namespace gpf::store {
+
+/// A chunk's columns resolved to byte spans — validated (and possibly
+/// fault-injected) before a ChunkCodec sees them.
+struct ChunkColumns {
+  struct Column {
+    std::string name;
+    std::uint8_t encoding = 0;
+    std::span<const std::uint8_t> bytes;
+  };
+
+  std::uint64_t records = 0;
+  std::vector<Column> columns;
+
+  std::span<const std::uint8_t> column(std::string_view name) const {
+    for (const Column& c : columns) {
+      if (c.name == name) return c.bytes;
+    }
+    throw ChunkFormatError("chunk has no column '" + std::string(name) + "'");
+  }
+};
+
+/// Record <-> chunk translation hooks, the store-side analogue of
+/// ShuffleCodec.  encode() need not set ChunkData::records; spill()
+/// stamps the partition size itself.
+template <typename T>
+struct ChunkCodec {
+  std::function<ChunkData(std::span<const T>)> encode;
+  std::function<std::vector<T>(const ChunkColumns&)> decode;
+
+  bool valid() const { return encode != nullptr && decode != nullptr; }
+};
+
+template <typename T>
+class SpilledDataset {
+ public:
+  /// One ChunkRef per partition, in the engine's shared partition layout.
+  using Chunks = std::vector<std::vector<ChunkRef>>;
+
+  SpilledDataset() = default;
+
+  /// Writes every partition of `dataset` as a chunk in `store`; recorded
+  /// as a "<name>.spill" stage.  Each chunk is validated (footer re-opened
+  /// and record count checked) before its task succeeds, so a torn write
+  /// can never be mistaken for a completed spill.
+  static SpilledDataset spill(const engine::Dataset<T>& dataset,
+                              ChunkCodec<T> codec, ChunkStore& store,
+                              const std::string& name) {
+    if (!codec.valid()) {
+      throw std::invalid_argument("spill: codec required");
+    }
+    SpilledDataset out;
+    out.engine_ = &dataset.engine();
+    out.store_ = &store;
+    out.codec_ = std::make_shared<ChunkCodec<T>>(std::move(codec));
+    const std::string stage_name = name + ".spill";
+    auto refs = dataset.template map_partitions_ctx<ChunkRef>(
+        stage_name,
+        [codec = out.codec_, store = out.store_, engine = out.engine_,
+         stage_name, name](const engine::TaskContext& ctx,
+                           const std::vector<T>& part) {
+          ChunkData data =
+              codec->encode(std::span<const T>(part.data(), part.size()));
+          data.records = part.size();
+          std::vector<std::uint8_t> buf = engine->buffer_pool().acquire();
+          encode_chunk_into(data, buf);
+
+          const std::string chunk_name =
+              name + ".part" + std::to_string(ctx.index);
+          engine::FaultInjector* injector = engine->fault_injector();
+          std::optional<std::size_t> torn;
+          if (injector != nullptr) {
+            torn = injector->damaged_write_size(stage_name, ctx.ordinal,
+                                                ctx.index, ctx.attempt,
+                                                buf.size());
+          }
+          const ChunkRef ref =
+              torn ? store->write_torn_for_testing(chunk_name, buf,
+                                                   part.size(), *torn)
+                   : store->write_encoded(chunk_name, buf, part.size());
+          engine->buffer_pool().release(std::move(buf));
+
+          // Post-write validation: re-open through the real read path.  A
+          // torn or truncated file fails the trailer/footer checks here,
+          // the attempt fails, and the executor's retry rewrites the chunk
+          // from the still-live input partition (lineage recompute).
+          const auto chunk = store->open(ref.path);
+          if (chunk->view().records() != part.size()) {
+            throw ChunkCorruptionError(
+                ref.path + ": footer records " +
+                std::to_string(chunk->view().records()) + ", wrote " +
+                std::to_string(part.size()));
+          }
+          return std::vector<ChunkRef>{ref};
+        });
+    out.chunks_ = refs.shared_partitions();
+    return out;
+  }
+
+  std::size_t partition_count() const { return chunks_ ? chunks_->size() : 0; }
+
+  /// Total bytes on disk across all chunks.
+  std::size_t disk_bytes() const {
+    if (!chunks_) return 0;
+    std::size_t total = 0;
+    for (const auto& part : *chunks_) {
+      for (const ChunkRef& ref : part) total += ref.bytes;
+    }
+    return total;
+  }
+
+  /// The chunk written for partition `i`.
+  const ChunkRef& chunk(std::size_t i) const { return (*chunks_)[i].at(0); }
+
+  ChunkStore& chunk_store() const { return *store_; }
+
+  /// Reloads the records as a live Dataset; recorded as a "<name>.load"
+  /// stage.  Chunks are mapped through the store's residency manager (so
+  /// at most the memory budget stays resident), every column is
+  /// checksum-verified before decode, and the decoded record count is
+  /// checked against the footer.
+  engine::Dataset<T> materialize(const std::string& name) const {
+    if (!chunks_) throw std::logic_error("materialize: empty");
+    const std::string stage_name = name + ".load";
+    engine::Dataset<ChunkRef> refs(engine_, chunks_);
+    return refs.template map_partitions_ctx<T>(
+        stage_name,
+        [codec = codec_, store = store_, engine = engine_, stage_name](
+            const engine::TaskContext& ctx,
+            const std::vector<ChunkRef>& part) {
+          const ChunkRef& ref = part.at(0);
+          // The handle pins the mapping for the duration of the decode.
+          const auto chunk = store->open(ref.path);
+          const ChunkView& view = chunk->view();
+          engine::FaultInjector* injector = engine->fault_injector();
+
+          ChunkColumns cols;
+          cols.records = view.records();
+          // Injected corruption lands on copies; the mmap'd bytes stay
+          // pristine so the retry can succeed (same contract as shuffle
+          // blocks).  Copies live here until decode is done.
+          std::vector<std::vector<std::uint8_t>> corrupted;
+          for (std::size_t c = 0; c < view.columns().size(); ++c) {
+            const ColumnDesc& desc = view.columns()[c];
+            std::span<const std::uint8_t> bytes = view.column_raw(desc);
+            if (injector != nullptr) {
+              auto damaged = injector->corrupted_copy(
+                  stage_name, ctx.ordinal, ctx.index, /*block=*/c,
+                  ctx.attempt, bytes);
+              if (damaged) {
+                corrupted.push_back(std::move(*damaged));
+                bytes = std::span<const std::uint8_t>(
+                    corrupted.back().data(), corrupted.back().size());
+              }
+            }
+            if (fnv1a64(bytes) != desc.checksum) {
+              throw ChunkCorruptionError("column '" + desc.name +
+                                         "' of chunk " + ref.path +
+                                         " failed its checksum");
+            }
+            cols.columns.push_back({desc.name, desc.encoding, bytes});
+          }
+
+          auto records = codec->decode(cols);
+          if (records.size() != view.records()) {
+            throw ChunkCorruptionError(
+                ref.path + ": decoded " + std::to_string(records.size()) +
+                " records, footer says " + std::to_string(view.records()));
+          }
+          return records;
+        });
+  }
+
+ private:
+  engine::Engine* engine_ = nullptr;
+  ChunkStore* store_ = nullptr;
+  std::shared_ptr<ChunkCodec<T>> codec_;
+  std::shared_ptr<Chunks> chunks_;
+};
+
+}  // namespace gpf::store

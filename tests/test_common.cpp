@@ -61,6 +61,77 @@ TEST(ThreadPool, NestedParallelForMultiWorker) {
   EXPECT_EQ(total.load(), 256);
 }
 
+TEST(ThreadPool, ParallelForPropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 37) throw std::runtime_error("boom at 37");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  // The pool survives a throwing loop.
+  std::atomic<int> after{0};
+  pool.parallel_for(16, [&](std::size_t) { after++; });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForDrainsEveryChunkBeforePropagating) {
+  // Regression: parallel_for used to rethrow as soon as the first failed
+  // future was reaped, returning while queued chunks still referenced the
+  // caller's `fn` — whose lifetime ends with the unwinding stack frame (a
+  // use-after-free once a worker scheduled them).  The fix drains every
+  // chunk first, so by the time the exception escapes, every index either
+  // ran or sat in the throwing chunk.
+  ThreadPool pool(2);
+  const std::size_t n = 64;
+  // Chunk layout mirrors the implementation: min(n, size()*4) blocks.
+  const std::size_t blocks = std::min<std::size_t>(n, 2 * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::atomic<std::size_t> completed{0};
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      // Throw at the LAST index of the first chunk so every other index
+      // must have completed by the time the failure propagates.
+      if (i == chunk - 1) throw std::runtime_error("chunk 0 fails");
+      completed++;
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(completed.load(), n - 1);
+}
+
+TEST(ThreadPool, ParallelForFirstSubmittedExceptionWins) {
+  ThreadPool pool(2);
+  const std::size_t n = 64;
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk");
+      if (i == n - 1) throw std::logic_error("last chunk");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    // Futures are reaped in submission order, so the earliest-submitted
+    // chunk's exception is the one that propagates.
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [&](std::size_t j) {
+                                     if (j == 3) {
+                                       throw std::invalid_argument("inner");
+                                     }
+                                   });
+                                 }),
+               std::invalid_argument);
+}
+
 TEST(ThreadPool, OnWorkerThreadFalseOutside) {
   ThreadPool pool(2);
   EXPECT_FALSE(pool.on_worker_thread());

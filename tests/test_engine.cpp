@@ -495,6 +495,46 @@ TEST(BufferPool, RecyclesReleasedCapacity) {
   EXPECT_EQ(pool.pooled(), 2u);
 }
 
+TEST(BufferPool, ByteBudgetBoundsParkedCapacity) {
+  // Regression: the free list used to be bounded only by buffer count, so
+  // one burst of wide blocks parked max_buffers x largest-capacity bytes
+  // forever.  The byte budget evicts oldest-first instead.
+  BufferPool pool(/*max_buffers=*/64, /*max_pooled_bytes=*/1000);
+  std::vector<std::uint8_t> a(400);
+  std::vector<std::uint8_t> b(400);
+  const std::size_t cap_a = a.capacity();
+  const std::size_t cap_b = b.capacity();
+  ASSERT_LE(cap_a + cap_b, 1000u);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_EQ(pool.pooled_bytes(), cap_a + cap_b);
+
+  // A third release would overflow the budget: the OLDEST buffer (a) is
+  // evicted to make room.
+  pool.release(std::vector<std::uint8_t>(400));
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_LE(pool.pooled_bytes(), pool.max_pooled_bytes());
+  EXPECT_EQ(pool.byte_eviction_count(), 1u);
+
+  // Acquiring gives back the newest parked capacity and returns the bytes
+  // to the accounting.
+  const auto got = pool.acquire();
+  EXPECT_GE(got.capacity(), 400u);
+  EXPECT_EQ(pool.pooled(), 1u);
+  EXPECT_EQ(pool.pooled_bytes(), cap_b);
+}
+
+TEST(BufferPool, OversizedBufferIsFreedOutright) {
+  BufferPool pool(/*max_buffers=*/4, /*max_pooled_bytes=*/100);
+  pool.release(std::vector<std::uint8_t>(64));
+  EXPECT_EQ(pool.pooled(), 1u);
+  // Larger than the whole budget: dropped, and nothing parked is evicted.
+  pool.release(std::vector<std::uint8_t>(500));
+  EXPECT_EQ(pool.pooled(), 1u);
+  EXPECT_EQ(pool.byte_eviction_count(), 0u);
+}
+
 TEST(Engine, ShuffleRecyclesEncodeBuffersThroughPool) {
   Engine engine({.worker_threads = 2});
   std::vector<SamRecord> records;

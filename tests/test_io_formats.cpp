@@ -8,6 +8,7 @@
 
 #include "engine/dataset.hpp"
 
+#include "common/fsio.hpp"
 #include "compress/gbam.hpp"
 #include "core/file_io.hpp"
 #include "common/rng.hpp"
@@ -55,6 +56,29 @@ TEST_F(FileIoTest, MissingFileThrowsWithPath) {
 TEST_F(FileIoTest, UnwritablePathThrows) {
   EXPECT_THROW(core::write_file(path("no_dir/x.txt"), "x"),
                std::runtime_error);
+}
+
+TEST_F(FileIoTest, WriteFileSurvivesCrashMidWrite) {
+  // Regression: write_file used to truncate the destination in place, so
+  // a crash mid-write left a torn prefix.  It now writes through
+  // fs::atomic_write_file — under an injected failure the old bytes stay
+  // intact and no temp file is left behind.
+  core::write_file(path("data.txt"), "the old, complete contents");
+  fs::testing::set_write_failure_hook(
+      [] { throw std::runtime_error("injected crash mid-write"); });
+  EXPECT_THROW(core::write_file(path("data.txt"), "new contents"),
+               std::runtime_error);
+  fs::testing::set_write_failure_hook(nullptr);
+
+  EXPECT_EQ(core::read_file(path("data.txt")), "the old, complete contents");
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(std::string(e.path().filename()).find(".tmp"),
+              std::string::npos)
+        << "leftover temp file: " << e.path();
+  }
+  // And the writer still works once the fault clears.
+  core::write_file(path("data.txt"), "new contents");
+  EXPECT_EQ(core::read_file(path("data.txt")), "new contents");
 }
 
 TEST_F(FileIoTest, FastqPairFilesRoundTrip) {

@@ -27,6 +27,7 @@
 #include "net/channel.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "runtime/block_store.hpp"
 #include "runtime/distributed.hpp"
 #include "runtime/worker.hpp"
 #include "runtime/worker_pool.hpp"
@@ -324,6 +325,50 @@ TEST(Channel, SlowResponseTimesOut) {
 }
 
 // ---------------------------------------------------------------------------
+// Block store retention
+
+TEST(BlockStore, ReleaseNamespaceDropsOnlyThatStage) {
+  // Regression: worker block stores never evicted, so every completed
+  // shuffle's blocks pinned worker memory for the process lifetime.
+  BlockStore store;
+  const auto blk = [](std::size_t n) {
+    StoredBlock b;
+    b.bytes = std::make_shared<const std::vector<std::uint8_t>>(n, 0xab);
+    return b;
+  };
+  store.put(BlockId{"jobA", 0, 0}.key(), blk(10));
+  store.put(BlockId{"jobA", 1, 2}.key(), blk(20));
+  store.put(BlockId{"jobB", 0, 0}.key(), blk(30));
+  EXPECT_EQ(store.total_bytes(), 60u);
+
+  EXPECT_EQ(store.release_namespace("jobA"), 30u);
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 30u);
+  EXPECT_TRUE(store.get(BlockId{"jobB", 0, 0}.key()).has_value());
+
+  // Idempotent, and the "stage/" prefix never eats a sibling stage whose
+  // name merely starts with the same characters.
+  EXPECT_EQ(store.release_namespace("jobA"), 0u);
+  store.put(BlockId{"jobAA", 0, 0}.key(), blk(5));
+  EXPECT_EQ(store.release_namespace("jobA"), 0u);
+  EXPECT_EQ(store.total_bytes(), 35u);
+}
+
+TEST(BlockStore, ReleaseKeepsFetchedHandlesAlive) {
+  BlockStore store;
+  StoredBlock b;
+  b.bytes = std::make_shared<const std::vector<std::uint8_t>>(4, 0x5a);
+  store.put(BlockId{"job", 0, 0}.key(), b);
+  const auto fetched = store.get(BlockId{"job", 0, 0}.key());
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(store.release_namespace("job"), 4u);
+  EXPECT_EQ(store.total_bytes(), 0u);
+  // The reader's shared pointer keeps the bytes valid after release.
+  EXPECT_EQ(fetched->bytes->size(), 4u);
+  EXPECT_EQ((*fetched->bytes)[0], 0x5a);
+}
+
+// ---------------------------------------------------------------------------
 // Multi-process loopback runtime
 
 WorkerPoolConfig pool_config() {
@@ -380,6 +425,35 @@ TEST(Loopback, ShuffleMatchesSingleProcessBitForBit) {
   EXPECT_TRUE(stage.wide);
   EXPECT_GT(stage.shuffle_write_bytes, 0u);
   EXPECT_EQ(stage.shuffle_write_bytes, stage.shuffle_read_bytes);
+  pool.shutdown_all();
+}
+
+TEST(Loopback, ShuffleReleasesWorkerBlocksOnSuccess) {
+  // Retention regression, end to end: after a successful shuffle the
+  // driver broadcasts release_blocks, so every worker's store must be
+  // back to zero bytes — completed jobs stop pinning worker memory.
+  const auto inputs = make_inputs(4, 64, 99);
+  WorkerPool pool(pool_config());
+  pool.spawn_local(2);
+  engine::Engine eng;
+  DistributedShuffleOptions opt;
+  opt.partitioner = "key_u64";
+  distributed_shuffle(eng, pool, "dist.release", inputs, 3, opt);
+
+  TaskRequest req;
+  req.kind = "release_blocks";
+  req.stage = "dist.release";
+  ByteWriter payload;
+  payload.str("dist.release");
+  req.payload = payload.take();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!pool.alive(static_cast<int>(i))) continue;
+    auto [w, frame] = pool.dispatch_to(static_cast<int>(i), req);
+    ASSERT_EQ(frame.type, static_cast<std::uint32_t>(kTaskOk));
+    ByteReader r(as_span(frame.payload));
+    EXPECT_EQ(r.u64(), 0u) << "driver left blocks behind on worker " << i;
+    EXPECT_EQ(r.u64(), 0u) << "worker " << i << " still pins bytes";
+  }
   pool.shutdown_all();
 }
 

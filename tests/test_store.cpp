@@ -1,0 +1,452 @@
+// Tests for the out-of-core chunk store: the on-disk chunk format and its
+// torn-write/corruption detection, the memory-budgeted residency layer,
+// the FASTQ column codec, and the spill/materialize engine integration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "compress/column_codec.hpp"
+#include "engine/dataset.hpp"
+#include "store/chunk.hpp"
+#include "store/chunk_store.hpp"
+#include "store/fastq_chunk.hpp"
+#include "store/residency.hpp"
+#include "store/spill.hpp"
+
+namespace gpf {
+namespace {
+
+using store::ChunkCorruptionError;
+using store::ChunkData;
+using store::ChunkFormatError;
+using store::ChunkIoError;
+using store::ChunkRef;
+using store::ChunkStore;
+using store::ChunkStoreConfig;
+using store::ChunkView;
+using store::ColumnSpec;
+using store::MappedChunk;
+using store::ResidencyManager;
+using store::SpilledDataset;
+
+/// Temp-directory fixture; files are removed on teardown.
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gpf_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+ChunkData sample_chunk(std::size_t records = 3) {
+  ChunkData data;
+  data.records = records;
+  data.columns.push_back(ColumnSpec{"alpha", 1, {1, 2, 3, 4, 5}});
+  data.columns.push_back(ColumnSpec{"beta", 2, {9, 8, 7}});
+  data.columns.push_back(ColumnSpec{"empty", 0, {}});
+  return data;
+}
+
+/// Deterministic FASTQ batch.  N bases carry quality '#', matching the
+/// codec's escape contract (Phred 2 is what decompression restores), so
+/// round trips are bit-identical.
+std::vector<FastqRecord> make_reads(std::size_t n, std::uint64_t seed) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+  const auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  std::vector<FastqRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FastqRecord rec;
+    rec.name = "read/" + std::to_string(seed) + "/" + std::to_string(i);
+    const std::size_t len = 60 + next() % 101;
+    rec.sequence.reserve(len);
+    rec.quality.reserve(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      if (next() % 100 < 3) {
+        rec.sequence.push_back('N');
+        rec.quality.push_back('#');
+      } else {
+        rec.sequence.push_back("ACGT"[next() % 4]);
+        rec.quality.push_back(static_cast<char>(33 + next() % 94));
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk format
+
+TEST(ChunkFormat, EncodeParseRoundTrip) {
+  const ChunkData data = sample_chunk();
+  const std::vector<std::uint8_t> encoded = store::encode_chunk(data);
+  const ChunkView view = ChunkView::parse(encoded);
+  EXPECT_EQ(view.records(), 3u);
+  ASSERT_EQ(view.columns().size(), 3u);
+  for (const ColumnSpec& col : data.columns) {
+    const auto bytes = view.column(col.name);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), col.bytes.begin(),
+                           col.bytes.end()))
+        << col.name;
+    EXPECT_EQ(view.find(col.name)->encoding, col.encoding);
+  }
+  EXPECT_EQ(view.find("nope"), nullptr);
+  EXPECT_THROW(view.column("nope"), ChunkFormatError);
+}
+
+TEST(ChunkFormat, EmptyChunkRoundTrips) {
+  ChunkData data;
+  const auto encoded = store::encode_chunk(data);
+  const ChunkView view = ChunkView::parse(encoded);
+  EXPECT_EQ(view.records(), 0u);
+  EXPECT_TRUE(view.columns().empty());
+}
+
+TEST(ChunkFormat, EveryTornPrefixIsDetected) {
+  // A torn write leaves a strict prefix of the file.  Whatever its length,
+  // opening must fail with a typed ChunkError — never a short parse.
+  const auto encoded = store::encode_chunk(sample_chunk());
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    EXPECT_THROW(
+        ChunkView::parse(std::span<const std::uint8_t>(encoded.data(), keep)),
+        store::ChunkError)
+        << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+TEST(ChunkFormat, TruncatedFooterThrowsFormatError) {
+  auto encoded = store::encode_chunk(sample_chunk());
+  encoded.resize(encoded.size() - 8);
+  EXPECT_THROW(ChunkView::parse(encoded), ChunkFormatError);
+}
+
+TEST(ChunkFormat, BadMagicThrowsFormatError) {
+  auto encoded = store::encode_chunk(sample_chunk());
+  encoded.back() ^= 0xff;
+  EXPECT_THROW(ChunkView::parse(encoded), ChunkFormatError);
+}
+
+TEST(ChunkFormat, FlippedFooterByteThrowsCorruption) {
+  auto encoded = store::encode_chunk(sample_chunk());
+  encoded[encoded.size() - store::kChunkTrailerBytes - 1] ^= 0x01;
+  EXPECT_THROW(ChunkView::parse(encoded), ChunkCorruptionError);
+}
+
+TEST(ChunkFormat, FlippedColumnByteThrowsCorruptionOnAccess) {
+  auto encoded = store::encode_chunk(sample_chunk());
+  encoded[1] ^= 0x80;  // inside column "alpha"
+  const ChunkView view = ChunkView::parse(encoded);  // footer still intact
+  EXPECT_THROW(view.column("alpha"), ChunkCorruptionError);
+  EXPECT_NO_THROW(view.column("beta"));
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStore + mmap
+
+TEST_F(StoreTest, WriteOpenRoundTripLeavesNoTempFiles) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const ChunkRef ref = cs.write("c0", sample_chunk());
+  EXPECT_EQ(ref.path, cs.chunk_path("c0"));
+  EXPECT_EQ(ref.records, 3u);
+
+  const auto chunk = cs.open(ref.path);
+  EXPECT_EQ(chunk->view().records(), 3u);
+  EXPECT_EQ(chunk->bytes(), ref.bytes);
+
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(path("chunks"))) {
+    ++files;
+    EXPECT_EQ(e.path().extension(), ".gpc") << e.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(StoreTest, MissingChunkThrowsIoErrorWithPath) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  try {
+    cs.open(cs.chunk_path("absent"));
+    FAIL() << "expected throw";
+  } catch (const ChunkIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos);
+  }
+}
+
+TEST_F(StoreTest, RewriteInvalidatesResidentMapping) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  cs.write("c", sample_chunk(3));
+  EXPECT_EQ(cs.open(cs.chunk_path("c"))->view().records(), 3u);
+  cs.write("c", sample_chunk(7));
+  EXPECT_EQ(cs.open(cs.chunk_path("c"))->view().records(), 7u);
+}
+
+TEST_F(StoreTest, TornWriteIsDetectedAtOpen) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const auto encoded = store::encode_chunk(sample_chunk());
+  cs.write_torn_for_testing("torn", encoded, 3, encoded.size() / 2);
+  EXPECT_THROW(cs.open(cs.chunk_path("torn")), ChunkFormatError);
+}
+
+// ---------------------------------------------------------------------------
+// Residency
+
+TEST_F(StoreTest, ResidencyEvictsLeastRecentlyUsed) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  std::vector<std::string> paths;
+  std::size_t chunk_bytes = 0;
+  for (int i = 0; i < 3; ++i) {
+    const ChunkRef ref = cs.write("c" + std::to_string(i), sample_chunk());
+    paths.push_back(ref.path);
+    chunk_bytes = ref.bytes;
+  }
+  // Budget fits exactly two chunks.
+  ResidencyManager res(2 * chunk_bytes);
+  res.acquire(paths[0]);
+  res.acquire(paths[1]);
+  res.acquire(paths[0]);  // touch: 1 is now the LRU
+  res.acquire(paths[2]);  // evicts 1
+  auto stats = res.stats();
+  EXPECT_EQ(stats.resident_chunks, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  res.acquire(paths[0]);  // still resident
+  EXPECT_EQ(res.stats().hits, 2u);
+  res.acquire(paths[1]);  // re-opened
+  EXPECT_EQ(res.stats().misses, 4u);
+}
+
+TEST_F(StoreTest, PinnedChunksAreNotEvicted) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const ChunkRef r0 = cs.write("c0", sample_chunk());
+  const ChunkRef r1 = cs.write("c1", sample_chunk());
+  ResidencyManager res(1);  // budget below a single chunk
+  const auto pinned = res.acquire(r0.path);
+  // Over budget, but the handle pins c0: it must stay resident.
+  EXPECT_EQ(res.stats().resident_chunks, 1u);
+  const auto second = res.acquire(r1.path);
+  EXPECT_EQ(second->view().records(), 3u);
+  EXPECT_EQ(res.stats().resident_chunks, 2u);
+  EXPECT_EQ(res.stats().evictions, 0u);
+  // The pinned mapping stays valid regardless of residency decisions.
+  EXPECT_EQ(pinned->view().records(), 3u);
+}
+
+TEST_F(StoreTest, DropForgetsButKeepsHandlesValid) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const ChunkRef ref = cs.write("c", sample_chunk());
+  ResidencyManager res(1 << 20);
+  const auto handle = res.acquire(ref.path);
+  res.drop(ref.path);
+  EXPECT_EQ(res.stats().resident_chunks, 0u);
+  EXPECT_EQ(handle->view().records(), 3u);
+  res.acquire(ref.path);
+  EXPECT_EQ(res.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// FASTQ columns
+
+TEST(FastqColumns, RoundTripWithSpecialBases) {
+  const std::vector<FastqRecord> reads = make_reads(200, 42);
+  const FastqColumns cols =
+      encode_fastq_columns(std::span<const FastqRecord>(reads));
+  EXPECT_EQ(cols.records, reads.size());
+  EXPECT_EQ(decode_fastq_columns(cols), reads);
+}
+
+TEST(FastqColumns, EmptyBatchRoundTrips) {
+  const FastqColumns cols = encode_fastq_columns({});
+  EXPECT_EQ(cols.records, 0u);
+  EXPECT_TRUE(decode_fastq_columns(cols).empty());
+}
+
+TEST(FastqColumns, SingleRecordRoundTrips) {
+  const std::vector<FastqRecord> reads = {{"only", "NACGTN", "#III!#"}};
+  EXPECT_EQ(decode_fastq_columns(encode_fastq_columns(
+                std::span<const FastqRecord>(reads))),
+            reads);
+}
+
+TEST_F(StoreTest, FastqChunkRoundTripsThroughDisk) {
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const std::vector<FastqRecord> reads = make_reads(64, 7);
+  const ChunkRef ref = cs.write(
+      "reads", store::encode_fastq_chunk(std::span<const FastqRecord>(reads)));
+  const auto chunk = cs.open(ref.path);
+  store::ChunkColumns cols;
+  cols.records = chunk->view().records();
+  for (const auto& d : chunk->view().columns()) {
+    cols.columns.push_back({d.name, d.encoding, chunk->view().column(d.name)});
+  }
+  EXPECT_EQ(store::decode_fastq_chunk(cols), reads);
+}
+
+// ---------------------------------------------------------------------------
+// Spill / materialize
+
+TEST_F(StoreTest, OverBudgetSpillReloadsBitIdentical) {
+  // End-to-end acceptance: a dataset at least 2x the store's memory budget
+  // spills, evicts, reloads, and matches the in-memory run bit for bit.
+  std::size_t budget = std::size_t{16} << 10;
+  if (const char* env = std::getenv("GPF_STORE_BUDGET")) {
+    budget = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  engine::Engine eng;
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), budget});
+
+  const std::vector<FastqRecord> reads = make_reads(3000, 1234);
+  auto ds = eng.parallelize(reads, 16);
+  const std::vector<FastqRecord> in_memory = ds.collect();
+
+  auto spilled =
+      SpilledDataset<FastqRecord>::spill(ds, store::fastq_chunk_codec(), cs,
+                                         "reads");
+  EXPECT_EQ(spilled.partition_count(), 16u);
+  ASSERT_GE(spilled.disk_bytes(), 2 * budget)
+      << "test data no longer exceeds the memory budget";
+
+  const auto reloaded = spilled.materialize("reads").collect();
+  EXPECT_EQ(reloaded, in_memory);
+
+  const auto stats = cs.residency().stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LT(stats.resident_chunks, spilled.partition_count());
+}
+
+TEST_F(StoreTest, TornSpillWriteIsRetriedFromLineage) {
+  engine::Engine eng;
+  eng.set_fault_injector(std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{
+             engine::FaultRule::torn_write("reads.spill", 0, 0.5)}));
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+
+  const std::vector<FastqRecord> reads = make_reads(100, 5);
+  auto ds = eng.parallelize(reads, 4);
+  auto spilled = SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), cs, "reads");
+  // The first attempt of task 0 tore its write; the retry rewrote the
+  // chunk from the live partition and the stage succeeded.
+  EXPECT_EQ(eng.fault_injector()->injected_write_faults(), 1u);
+  EXPECT_EQ(spilled.materialize("reads").collect(), reads);
+}
+
+TEST_F(StoreTest, TruncatedFooterSpillIsRetriedFromLineage) {
+  engine::Engine eng;
+  eng.set_fault_injector(std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{
+             engine::FaultRule::truncate_footer("reads.spill",
+                                                engine::kAnyTask, 8)}));
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+
+  const std::vector<FastqRecord> reads = make_reads(100, 6);
+  auto ds = eng.parallelize(reads, 4);
+  auto spilled = SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), cs, "reads");
+  EXPECT_EQ(eng.fault_injector()->injected_write_faults(), 4u);
+  EXPECT_EQ(spilled.materialize("reads").collect(), reads);
+}
+
+TEST_F(StoreTest, PersistentTornWriteFailsTyped) {
+  engine::Engine eng;
+  eng.set_fault_injector(std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{engine::FaultRule::torn_write(
+             "reads.spill", 0, 0.5, /*attempts=*/-1)}));
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+
+  auto ds = eng.parallelize(make_reads(50, 8), 2);
+  EXPECT_THROW(SpilledDataset<FastqRecord>::spill(
+                   ds, store::fastq_chunk_codec(), cs, "reads"),
+               engine::StageFailure);
+}
+
+TEST_F(StoreTest, CorruptedColumnOnLoadIsRetried) {
+  engine::Engine eng;
+  // Column 2 is "seq"; corrupt it for partition 0's first load attempt.
+  eng.set_fault_injector(std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{
+             engine::FaultRule::corrupt_block("reads.load", 0, 2)}));
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+
+  const std::vector<FastqRecord> reads = make_reads(100, 9);
+  auto ds = eng.parallelize(reads, 4);
+  auto spilled = SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), cs, "reads");
+  // The corruption lands on a copy; the retry re-reads pristine mmap
+  // bytes and succeeds.
+  EXPECT_EQ(spilled.materialize("reads").collect(), reads);
+  EXPECT_EQ(eng.fault_injector()->injected_corruptions(), 1u);
+}
+
+TEST_F(StoreTest, PersistentLoadCorruptionFailsTyped) {
+  engine::Engine eng;
+  eng.set_fault_injector(std::make_shared<engine::FaultInjector>(
+      7, std::vector<engine::FaultRule>{engine::FaultRule::corrupt_block(
+             "reads.load", 0, 2, /*attempts=*/-1)}));
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+
+  auto ds = eng.parallelize(make_reads(50, 10), 2);
+  auto spilled = SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), cs, "reads");
+  try {
+    spilled.materialize("reads").collect();
+    FAIL() << "expected StageFailure";
+  } catch (const engine::StageFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(StoreTest, AtRestDamageSurfacesTypedNeverSilent) {
+  engine::Engine eng;
+  ChunkStore cs(ChunkStoreConfig{path("chunks"), 1 << 20});
+  const std::vector<FastqRecord> reads = make_reads(100, 11);
+  auto ds = eng.parallelize(reads, 2);
+  auto spilled = SpilledDataset<FastqRecord>::spill(
+      ds, store::fastq_chunk_codec(), cs, "reads");
+
+  // Flip one column byte on disk behind the store's back, then forget the
+  // pristine resident mapping so the next open reads the damaged file.
+  const std::string victim = spilled.chunk(0).path;
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(4);
+    char byte = 0;
+    f.seekg(4);
+    f.get(byte);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(4);
+    f.put(byte);
+  }
+  cs.residency().drop(victim);
+
+  try {
+    spilled.materialize("reads").collect();
+    FAIL() << "expected StageFailure";
+  } catch (const engine::StageFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gpf
