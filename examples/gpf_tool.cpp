@@ -7,6 +7,10 @@
 //   gpf_tool align <ref.fa> <r1.fastq> <r2.fastq> <out.gbam|out.sam>
 //   gpf_tool call <ref.fa> <in.gbam|in.sam> <out.vcf> [--gvcf]
 //   gpf_tool pipeline <ref.fa> <r1.fastq> <r2.fastq> <known.vcf> <out.vcf>
+//       [--backend {inprocess,spill,distributed}] [--store-budget BYTES]
+//       [--workers N]
+//       runs on the chosen execution backend and prints a per-Process
+//       table of wall time, shuffle traffic and backend residency work
 //   gpf_tool trace <ref.fa> <r1.fastq> <r2.fastq> <known.vcf> <out.json>
 //       [sim_cores=2048]
 //       runs the pipeline with tracing on and writes a Chrome trace_event
@@ -18,6 +22,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +37,7 @@
 #include "compress/gbam.hpp"
 #include "core/file_io.hpp"
 #include "core/wgs_pipeline.hpp"
+#include "exec/backend_factory.hpp"
 #include "simcluster/cluster.hpp"
 #include "simcluster/trace.hpp"
 #include "simdata/read_sim.hpp"
@@ -165,29 +172,64 @@ int cmd_call(int argc, char** argv) {
   return 0;
 }
 
-int cmd_pipeline(int argc, char** argv) {
+// Per-Process shuffle/backend accounting from the run report, the
+// human-readable face of PipelineReport::ProcessTiming.
+void print_process_table(const core::PipelineReport& report) {
+  std::printf("\nbackend: %s\n", report.backend.c_str());
+  std::printf("%-22s %8s %6s %10s %10s %9s %9s %8s %13s\n", "process", "wall",
+              "stages", "shuffle_w", "shuffle_r", "records", "spilled",
+              "lineage", "res h/m/e");
+  std::uint64_t shuffle_w = 0, shuffle_r = 0, spilled = 0;
+  for (const auto& t : report.timings) {
+    shuffle_w += t.shuffle_write_bytes;
+    shuffle_r += t.shuffle_read_bytes;
+    spilled += t.backend.bytes_spilled;
+    std::printf("%-22s %7.2fs %6zu %10llu %10llu %9llu %9llu %8llu "
+                "%4llu/%llu/%llu\n",
+                t.name.c_str(), t.wall_seconds, t.engine_stages,
+                static_cast<unsigned long long>(t.shuffle_write_bytes),
+                static_cast<unsigned long long>(t.shuffle_read_bytes),
+                static_cast<unsigned long long>(t.shuffle_records),
+                static_cast<unsigned long long>(t.backend.bytes_spilled),
+                static_cast<unsigned long long>(
+                    t.backend.lineage_recoveries),
+                static_cast<unsigned long long>(t.backend.residency_hits),
+                static_cast<unsigned long long>(t.backend.residency_misses),
+                static_cast<unsigned long long>(
+                    t.backend.residency_evictions));
+  }
+  std::printf("%-22s %16s %10llu %10llu %19llu\n", "total", "",
+              static_cast<unsigned long long>(shuffle_w),
+              static_cast<unsigned long long>(shuffle_r),
+              static_cast<unsigned long long>(spilled));
+}
+
+int cmd_pipeline(int argc, char** argv, const exec::BackendSpec& spec) {
   if (argc < 5) {
     std::fprintf(stderr,
                  "usage: gpf_tool pipeline <ref.fa> <r1> <r2> <known.vcf> "
-                 "<out.vcf>\n");
+                 "<out.vcf> [--backend B] [--store-budget N] [--workers N]\n");
     return 2;
   }
   const Reference reference = core::load_fasta_file(argv[0]);
   auto pairs = core::load_fastq_pair_files(argv[1], argv[2]);
   auto known = core::load_vcf_file(argv[3]);
-  engine::Engine engine;
+  const std::unique_ptr<core::ExecutionBackend> backend =
+      exec::make_backend(spec);
   core::PipelineConfig config;
   config.partition_length =
       std::max<std::int64_t>(10'000, static_cast<std::int64_t>(
                                          reference.total_length() / 16));
   const auto result = core::run_wgs_pipeline(
-      engine, reference, std::move(pairs), std::move(known.records), config);
+      *backend, reference, std::move(pairs), std::move(known.records),
+      config);
   core::save_vcf_file(argv[4], vcf_header_for(reference), result.variants);
   std::printf("pipeline done: %zu variants -> %s (%zu duplicates marked, "
               "%zu engine stages)\n",
               result.variants.size(), argv[4],
               result.markdup_stats.duplicates_marked,
-              engine.metrics().stage_count());
+              backend->engine().metrics().stage_count());
+  print_process_table(result.report);
   return 0;
 }
 
@@ -251,6 +293,16 @@ int cmd_view(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --backend/--store-budget/--workers anywhere on the line; only
+  // the pipeline command acts on them.
+  exec::BackendSpec backend_spec;
+  backend_spec.worker_binary = GPF_WORKER_BIN;
+  try {
+    exec::consume_backend_flags(argc, argv, backend_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "gpf_tool — GPF genomic toolkit\n"
@@ -263,7 +315,7 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(argc, argv);
   if (cmd == "align") return cmd_align(argc, argv);
   if (cmd == "call") return cmd_call(argc, argv);
-  if (cmd == "pipeline") return cmd_pipeline(argc, argv);
+  if (cmd == "pipeline") return cmd_pipeline(argc, argv, backend_spec);
   if (cmd == "trace") return cmd_trace(argc, argv);
   if (cmd == "view") return cmd_view(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());

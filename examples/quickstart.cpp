@@ -5,16 +5,32 @@
 // them, and calls Pipeline::run(); the framework handles partitioning,
 // shuffling, serialization and the Process-level DAG optimization.
 //
-//   ./quickstart
+//   ./quickstart [--backend {inprocess,spill,distributed}]
+//                [--store-budget BYTES] [--workers N]
+//
+// --backend picks the execution backend the plan is submitted to; the
+// program (and its output) is identical on all three.
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 
+#include "core/backend.hpp"
 #include "core/pipeline.hpp"
 #include "core/processes.hpp"
+#include "exec/backend_factory.hpp"
 #include "simdata/read_sim.hpp"
 
 using namespace gpf;
 
-int main() {
+int main(int argc, char** argv) {
+  exec::BackendSpec backend_spec;
+  backend_spec.worker_binary = GPF_WORKER_BIN;
+  try {
+    exec::consume_backend_flags(argc, argv, backend_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   // --- synthesize a small sample (stand-in for FASTQ files on disk) ----
   simdata::ReadSimSpec read_spec;
   read_spec.coverage = 10.0;
@@ -27,10 +43,12 @@ int main() {
               static_cast<std::size_t>(workload.reference.total_length()));
 
   // --- set up the execution environment (paper: SparkContext) ----------
-  engine::Engine engine;
+  const std::unique_ptr<core::ExecutionBackend> backend =
+      exec::make_backend(backend_spec);
+  std::printf("backend: %s\n", backend->name().c_str());
   core::PipelineConfig config;
   config.partition_length = 20'000;
-  core::Pipeline pipeline("myPipeline", engine, workload.reference, config);
+  core::Pipeline pipeline("myPipeline", *backend, workload.reference, config);
 
   // --- declare Resources (paper: Bundle.defined / Bundle.undefined) ----
   auto* fastq_pair_bundle = pipeline.add_resource(
@@ -77,6 +95,9 @@ int main() {
       "CollectVcf", result_vcf, final_vcf));
 
   // --- issue and execute (paper: pipeline.run()) ------------------------
+  // plan() shows the physical plan run() will submit: waves after the
+  // readiness simulation, with wide/fused/bundle annotations.
+  std::printf("\nphysical plan: %s\n\n", pipeline.plan().describe().c_str());
   const core::PipelineReport report = pipeline.run();
 
   std::printf("\npipeline '%s' finished in %.1fs; %zu processes "

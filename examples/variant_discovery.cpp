@@ -3,20 +3,29 @@
 // (recall/precision for SNPs and indels), then writes the result VCF.
 //
 //   ./variant_discovery [genome_kb=200] [coverage=20] [--trace-out=PATH]
+//       [--backend {inprocess,spill,distributed}] [--store-budget BYTES]
+//       [--workers N]
 //
 // With --trace-out the run records engine spans (stages, task attempts,
 // shuffle ser/deser, DAG nodes) and writes a Chrome trace_event JSON that
 // also carries a 2048-core simulated replay of the same run — open it in
 // chrome://tracing or https://ui.perfetto.dev.
+//
+// --backend selects where shuffle blocks physically live (src/exec):
+// driver memory, chunk files under a --store-budget residency cap, or a
+// fleet of --workers gpf_worker processes.  All three produce the same
+// VCF bit for bit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
 
 #include "common/trace.hpp"
 #include "core/wgs_pipeline.hpp"
+#include "exec/backend_factory.hpp"
 #include "formats/vcf.hpp"
 #include "simcluster/cluster.hpp"
 #include "simcluster/trace.hpp"
@@ -51,7 +60,15 @@ bool matches(const VcfRecord& a, const VcfRecord& b, std::int64_t slack) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --trace-out before reading the positionals.
+  // Strip the backend flags, then --trace-out, before the positionals.
+  exec::BackendSpec backend_spec;
+  backend_spec.worker_binary = GPF_WORKER_BIN;
+  try {
+    exec::consume_backend_flags(argc, argv, backend_spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,11 +116,14 @@ int main(int argc, char** argv) {
     recorder.clear();
     recorder.enable();
   }
-  engine::Engine engine;
+  const std::unique_ptr<core::ExecutionBackend> backend =
+      exec::make_backend(backend_spec);
+  engine::Engine& engine = backend->engine();
+  std::printf("backend: %s\n", backend->name().c_str());
   core::PipelineConfig config;
   config.partition_length = 25'000;
   const core::WgsResult result =
-      core::run_wgs_pipeline(engine, w.reference, w.sample.pairs, known,
+      core::run_wgs_pipeline(*backend, w.reference, w.sample.pairs, known,
                              config);
   if (!trace_path.empty()) {
     recorder.disable();
@@ -131,6 +151,22 @@ int main(int argc, char** argv) {
               result.markdup_stats.duplicates_marked,
               100.0 * result.markdup_stats.duplicate_fraction(),
               static_cast<unsigned>(result.final_partitions));
+
+  // Aggregate the per-Process backend counters: how much shuffle data
+  // moved, and how much of it the backend spilled or shipped.
+  std::uint64_t shuffle_w = 0, shuffle_r = 0, spilled = 0, shipped = 0;
+  for (const auto& t : result.report.timings) {
+    shuffle_w += t.shuffle_write_bytes;
+    shuffle_r += t.shuffle_read_bytes;
+    spilled += t.backend.bytes_spilled;
+    shipped += t.backend.bytes_put;
+  }
+  std::printf("shuffle: %llu B written, %llu B read; backend moved %llu B "
+              "(%llu B to disk)\n",
+              static_cast<unsigned long long>(shuffle_w),
+              static_cast<unsigned long long>(shuffle_r),
+              static_cast<unsigned long long>(shipped),
+              static_cast<unsigned long long>(spilled));
 
   // --- score --------------------------------------------------------------
   Score snp, indel;

@@ -1,0 +1,35 @@
+// The single source of truth for retry/backoff knobs.
+//
+// Before this header existed every layer grew its own copies of the same
+// three numbers — the net channel had max_attempts/backoff_initial_ms/
+// backoff_max_ms, the engine's executor had max_task_retries, and ad-hoc
+// call sites (worker peer fetches, pool dispatch) re-declared attempt
+// counts inline.  They all describe one idea: how many times to try an
+// idempotent operation and how long to wait between tries.  Everything
+// that retries now consumes a RetryPolicy; layers that need different
+// defaults override the values, not the shape.
+#pragma once
+
+#include <algorithm>
+
+namespace gpf {
+
+struct RetryPolicy {
+  /// Total attempts (first try + retries).  1 = no retry.
+  int max_attempts = 3;
+  /// Delay before the first retry; doubles per retry up to the cap.
+  /// 0 disables backoff (retry immediately — what the in-process engine
+  /// wants, since its "transport" cannot be congested).
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+
+  /// Retries remaining after the first attempt.
+  int retries() const { return std::max(0, max_attempts - 1); }
+
+  /// The delay to apply after `current_ms` (exponential, capped).
+  int next_backoff(int current_ms) const {
+    return std::min(std::max(current_ms, 1) * 2, backoff_max_ms);
+  }
+};
+
+}  // namespace gpf

@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "core/backend.hpp"
 
 namespace gpf::core {
 
@@ -56,7 +57,18 @@ void Process::execute(PipelineContext& ctx) {
 
 Pipeline::Pipeline(std::string name, engine::Engine& engine,
                    const Reference& reference, PipelineConfig config)
-    : name_(std::move(name)), context_(engine, reference, config) {}
+    : name_(std::move(name)),
+      owned_backend_(std::make_unique<EngineBackend>(engine)),
+      backend_(owned_backend_.get()),
+      context_(engine, reference, config) {}
+
+Pipeline::Pipeline(std::string name, ExecutionBackend& backend,
+                   const Reference& reference, PipelineConfig config)
+    : name_(std::move(name)),
+      backend_(&backend),
+      context_(backend.engine(), reference, config) {}
+
+Pipeline::~Pipeline() = default;
 
 void Pipeline::eliminate_redundancy(PipelineReport& report) {
   // Producer map: resource -> producing process; consumer count per
@@ -95,42 +107,19 @@ void Pipeline::eliminate_redundancy(PipelineReport& report) {
   }
 }
 
+PhysicalPlan Pipeline::plan() const {
+  return build_physical_plan(name_, context_.config(), processes_);
+}
+
 PipelineReport Pipeline::run() {
   PipelineReport report;
   if (context_.config().eliminate_redundancy) {
     eliminate_redundancy(report);
   }
-
-  // Paper Algorithm 1: iterate, executing every process whose inputs are
-  // all in the resource pool, until none remain.
-  std::vector<Process*> unfinished;
-  for (const auto& p : processes_) unfinished.push_back(p.get());
-
-  Timer total;
-  while (!unfinished.empty()) {
-    std::vector<Process*> runnable;
-    for (auto* p : unfinished) {
-      if (p->ready()) {
-        p->mark_state(ProcessState::kReady);
-        runnable.push_back(p);
-      }
-    }
-    if (runnable.empty()) {
-      std::string stuck;
-      for (const auto* p : unfinished) {
-        stuck += ' ' + p->name();
-      }
-      throw std::runtime_error("circular dependency among processes:" +
-                               stuck);
-    }
-    for (auto* p : runnable) {
-      GPF_INFO("running process %s", p->name().c_str());
-      p->execute(context_);
-      report.timings.push_back({p->name(), p->wall_seconds()});
-      std::erase(unfinished, p);
-    }
-  }
-  report.total_wall_seconds = total.seconds();
+  // Lower the logical DAG (paper Algorithm 1, evaluated statically) and
+  // submit it; the backend owns where shuffle blocks physically live.
+  const PhysicalPlan physical = plan();
+  backend_->execute(physical, context_, report);
   return report;
 }
 

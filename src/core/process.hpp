@@ -16,6 +16,8 @@
 
 namespace gpf::core {
 
+class ExecutionBackend;
+
 /// Paper Fig 2: Blocked -> Ready -> Running -> End.
 enum class ProcessState { kBlocked, kReady, kRunning, kEnd };
 
@@ -51,6 +53,12 @@ class PipelineContext {
   const Reference& reference() const { return *reference_; }
   const PipelineConfig& config() const { return config_; }
 
+  /// The backend executing the current plan (nullptr outside a backend
+  /// run).  Set by ExecutionBackend::execute; Processes that care about
+  /// physical placement may consult it, most should not.
+  void set_backend(ExecutionBackend* backend) { backend_ = backend; }
+  ExecutionBackend* backend() const { return backend_; }
+
   /// FM-index and aligner, built on first use and shared (the reference
   /// index is loaded once per executor in the real system).
   const align::ReadAligner& aligner();
@@ -62,6 +70,7 @@ class PipelineContext {
   engine::Engine* engine_;
   const Reference* reference_;
   PipelineConfig config_;
+  ExecutionBackend* backend_ = nullptr;
   std::unique_ptr<align::FmIndex> fm_index_;
   std::unique_ptr<align::ReadAligner> aligner_;
 };
@@ -98,6 +107,12 @@ class Process {
   /// eligible for the Fig 7 fusion.
   virtual bool is_partition_process() const { return false; }
 
+  /// True when running this Process crosses a shuffle (wide) boundary —
+  /// what the PhysicalPlan marks as a wide stage for the backends.
+  /// Partition Processes shuffle by construction; Processes with an
+  /// additional record-level shuffle (sort, markdup) override.
+  virtual bool has_wide_dependency() const { return is_partition_process(); }
+
   /// Runs the process (state transitions handled here).
   void execute(PipelineContext& ctx);
 
@@ -130,6 +145,7 @@ class Process {
 
  private:
   friend class Pipeline;
+  friend class ExecutionBackend;
   void mark_state(ProcessState s) { state_ = s; }
 
   std::string name_;

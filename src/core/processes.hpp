@@ -89,6 +89,9 @@ class SortProcess final : public Process {
   SortProcess(std::string name, SamBundle* input,
               PartitionInfoResource* partition_info, SamBundle* output);
 
+  /// Range-partitioned global sort: a record-level shuffle.
+  bool has_wide_dependency() const override { return true; }
+
  private:
   void run(PipelineContext& ctx) override;
 
@@ -101,6 +104,9 @@ class SortProcess final : public Process {
 class MarkDuplicateProcess final : public Process {
  public:
   MarkDuplicateProcess(std::string name, SamBundle* input, SamBundle* output);
+
+  /// Groups read pairs by alignment signature: a record-level shuffle.
+  bool has_wide_dependency() const override { return true; }
 
   /// Stats from the last run (for tests/benches).
   const cleaner::MarkDuplicatesStats& stats() const { return stats_; }

@@ -1,13 +1,14 @@
 #include "core/wgs_pipeline.hpp"
 
+#include "core/backend.hpp"
+
 namespace gpf::core {
+namespace {
 
-WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
-                           std::vector<FastqPair> pairs,
-                           std::vector<VcfRecord> known_sites,
-                           const PipelineConfig& config, bool use_gvcf) {
-  Pipeline pipeline("wgs", engine, reference, config);
-
+/// Wires the Fig-3 DAG into `pipeline` and runs it; shared by both entry
+/// points so in-process and backend runs execute the identical plan.
+WgsResult build_and_run(Pipeline& pipeline, std::vector<FastqPair> pairs,
+                        std::vector<VcfRecord> known_sites, bool use_gvcf) {
   // Resources (paper Fig 3's Bundle instances).
   auto* fastq = pipeline.add_resource(
       FastqPairBundle::make_undefined("fastqPair"));
@@ -62,6 +63,27 @@ WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
   result.markdup_stats = markdup->stats();
   result.final_partitions = partition_info->get().partition_count();
   return result;
+}
+
+}  // namespace
+
+WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
+                           std::vector<FastqPair> pairs,
+                           std::vector<VcfRecord> known_sites,
+                           const PipelineConfig& config, bool use_gvcf) {
+  Pipeline pipeline("wgs", engine, reference, config);
+  return build_and_run(pipeline, std::move(pairs), std::move(known_sites),
+                       use_gvcf);
+}
+
+WgsResult run_wgs_pipeline(ExecutionBackend& backend,
+                           const Reference& reference,
+                           std::vector<FastqPair> pairs,
+                           std::vector<VcfRecord> known_sites,
+                           const PipelineConfig& config, bool use_gvcf) {
+  Pipeline pipeline("wgs", backend, reference, config);
+  return build_and_run(pipeline, std::move(pairs), std::move(known_sites),
+                       use_gvcf);
 }
 
 }  // namespace gpf::core

@@ -25,8 +25,19 @@ struct WgsResult {
   std::size_t final_partitions = 0;
 };
 
-/// Builds and runs the full WGS pipeline over in-memory inputs.
+/// Builds and runs the full WGS pipeline over in-memory inputs (on the
+/// default in-process backend wrapping `engine`).
 WgsResult run_wgs_pipeline(engine::Engine& engine, const Reference& reference,
+                           std::vector<FastqPair> pairs,
+                           std::vector<VcfRecord> known_sites,
+                           const PipelineConfig& config = {},
+                           bool use_gvcf = false);
+
+/// Same pipeline, submitted to an explicit execution backend (in-process,
+/// spilling, or distributed — see src/exec).  All backends produce
+/// bit-identical results.
+WgsResult run_wgs_pipeline(ExecutionBackend& backend,
+                           const Reference& reference,
                            std::vector<FastqPair> pairs,
                            std::vector<VcfRecord> known_sites,
                            const PipelineConfig& config = {},

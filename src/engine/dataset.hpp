@@ -39,6 +39,7 @@
 #include "common/trace.hpp"
 #include "engine/fault_injector.hpp"
 #include "engine/metrics.hpp"
+#include "engine/shuffle_transport.hpp"
 #include "engine/stage_executor.hpp"
 
 namespace gpf::engine {
@@ -68,7 +69,8 @@ struct EngineConfig {
   /// Failed partition tasks are re-executed up to this many times before
   /// the stage fails (Spark re-runs lost tasks from lineage; inputs here
   /// are immutable shared partitions, so a retry is exactly a lineage
-  /// recompute).
+  /// recompute).  Feeds StageExecPolicy's shared RetryPolicy as
+  /// max_attempts = max_task_retries + 1.
   int max_task_retries = 2;
   /// Speculative execution: a task whose first attempt carries an injected
   /// straggler delay at or above the threshold gets a speculative copy
@@ -119,9 +121,20 @@ class Engine {
   }
   FaultInjector* fault_injector() const { return injector_.get(); }
 
+  /// Attaches the physical block sink/source used by codec shuffles
+  /// (nullptr detaches, restoring the in-memory path).  Execution
+  /// backends install their transport around a plan run; the engine just
+  /// routes blocks through whatever is attached.
+  void set_shuffle_transport(std::shared_ptr<ShuffleTransport> transport) {
+    transport_ = std::move(transport);
+  }
+  ShuffleTransport* shuffle_transport() const { return transport_.get(); }
+
   /// The executor-facing slice of the configuration.
   StageExecPolicy exec_policy() const {
-    return {config_.max_task_retries, config_.speculative_execution,
+    return {RetryPolicy{.max_attempts = config_.max_task_retries + 1,
+                        .backoff_initial_ms = 0, .backoff_max_ms = 0},
+            config_.speculative_execution,
             config_.speculation_delay_threshold_ms};
   }
 
@@ -139,6 +152,7 @@ class Engine {
   EngineMetrics metrics_;
   BufferPool buffer_pool_;
   std::shared_ptr<FaultInjector> injector_;
+  std::shared_ptr<ShuffleTransport> transport_;
 };
 
 /// A partitioned in-memory collection.  Cheap to copy (partitions are
@@ -315,20 +329,26 @@ class Dataset {
         injector ? injector->begin_stage(stage_name) : 0;
     const StageExecPolicy policy = engine_->exec_policy();
 
+    // When a transport is attached (and blocks are serialized), encoded
+    // blocks flow through it instead of parking in driver memory; the
+    // algorithm, validation and metrics below are identical either way.
+    ShuffleTransport* transport =
+        use_codec ? engine_->shuffle_transport() : nullptr;
+    const std::uint64_t shuffle_id =
+        transport ? transport->begin_shuffle(stage_name, n_in, num_out) : 0;
+
     // Shared names for the per-block (de)serialization spans, so the
     // per-task recording sites only copy, never concatenate.
     const std::string ser_name = stage_name + ".ser";
     const std::string deser_name = stage_name + ".deser";
 
-    /// Integrity metadata recorded per block on the map side.
-    struct BlockMeta {
-      std::uint64_t checksum = 0;
-      std::size_t records = 0;
-    };
     struct MapOut {
       std::vector<std::vector<T>> buckets;             // no-codec path
       std::vector<std::vector<std::uint8_t>> encoded;  // codec path
-      std::vector<BlockMeta> meta;
+      /// Integrity metadata recorded per block on the map side; kept
+      /// driver-side even under a transport, so validation never trusts
+      /// the transport's copy of the metadata.
+      std::vector<ShuffleBlockMeta> meta;
       std::uint64_t write_bytes = 0;
       double ser_seconds = 0.0;
     };
@@ -366,16 +386,26 @@ class Dataset {
                   out.encoded[b] = codec_->encode(bucket);
                 }
                 out.meta[b] = {shuffle_block_checksum(out.encoded[b]),
-                               out.buckets[b].size()};
+                               out.buckets[b].size(), out.encoded[b].size()};
                 out.write_bytes += out.encoded[b].size();
                 out.buckets[b].clear();
                 out.buckets[b].shrink_to_fit();
               }
               out.ser_seconds = ser.seconds();
+              if (transport) {
+                // Hand the bytes to the physical layer; the meta stays
+                // here for reduce-side validation.  A transport failure
+                // fails this attempt, and the executor's retry re-encodes
+                // from the immutable input partition (lineage recompute).
+                transport->put_map_output(shuffle_id, i,
+                                          std::move(out.encoded), out.meta);
+                out.encoded.clear();
+              }
             }
             return out;
           });
     } catch (...) {
+      if (transport) transport->end_shuffle(shuffle_id);
       record_stage(std::move(stage), wall, /*failed=*/true);
       throw;
     }
@@ -401,11 +431,18 @@ class Dataset {
                   deser_name, trace::SpanKind::kShuffleDeser,
                   static_cast<std::int64_t>(n_in + b));
               for (std::size_t i = 0; i < n_in; ++i) {
-                const auto& encoded = map_outs[i].encoded[b];
-                const BlockMeta& meta = map_outs[i].meta[b];
-                out.read_bytes += encoded.size();
-                std::span<const std::uint8_t> block(encoded.data(),
-                                                    encoded.size());
+                const ShuffleBlockMeta& meta = map_outs[i].meta[b];
+                ShuffleBlockHandle handle;
+                std::span<const std::uint8_t> block;
+                if (transport) {
+                  handle = transport->fetch_block(shuffle_id, i, b);
+                  block = handle.bytes;
+                } else {
+                  const auto& encoded = map_outs[i].encoded[b];
+                  block = std::span<const std::uint8_t>(encoded.data(),
+                                                        encoded.size());
+                }
+                out.read_bytes += block.size();
                 std::optional<std::vector<std::uint8_t>> corrupted;
                 if (injector) {
                   corrupted = injector->corrupted_copy(stage_name, ordinal,
@@ -444,6 +481,7 @@ class Dataset {
             return out;
           });
     } catch (...) {
+      if (transport) transport->end_shuffle(shuffle_id);
       stage.injected_faults += corruptions.load();
       record_stage(std::move(stage), wall, /*failed=*/true);
       throw;
@@ -458,6 +496,7 @@ class Dataset {
     for (const auto& m : map_outs) {
       stage.shuffle_write_bytes += m.write_bytes;
       stage.serialization_seconds += m.ser_seconds;
+      for (const auto& meta : m.meta) stage.shuffle_records += meta.records;
     }
     for (const auto& r : reduce_outs) {
       stage.shuffle_read_bytes += r.read_bytes;
@@ -465,10 +504,15 @@ class Dataset {
     }
     if (use_codec) {
       // All reduce attempts (including speculative copies) are done, so
-      // the encoded blocks can be recycled for the next stage.
-      for (auto& m : map_outs) {
-        for (auto& blk : m.encoded) {
-          engine_->buffer_pool().release(std::move(blk));
+      // the blocks can be released — to the transport, or (in-memory
+      // path) recycled through the buffer pool for the next stage.
+      if (transport) {
+        transport->end_shuffle(shuffle_id);
+      } else {
+        for (auto& m : map_outs) {
+          for (auto& blk : m.encoded) {
+            engine_->buffer_pool().release(std::move(blk));
+          }
         }
       }
     }
@@ -481,6 +525,7 @@ class Dataset {
       }
       stage.shuffle_write_bytes = records_moved * sizeof(T);
       stage.shuffle_read_bytes = stage.shuffle_write_bytes;
+      stage.shuffle_records = records_moved;
     }
     record_stage(std::move(stage), wall, /*failed=*/false);
 

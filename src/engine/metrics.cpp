@@ -27,6 +27,13 @@ std::uint64_t EngineMetrics::total_shuffle_bytes() const {
   return total;
 }
 
+std::uint64_t EngineMetrics::total_shuffle_records() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& s : stages_) total += s.shuffle_records;
+  return total;
+}
+
 double EngineMetrics::total_serialization_seconds() const {
   std::lock_guard lock(mu_);
   double total = 0.0;

@@ -24,6 +24,8 @@ struct StageMetrics {
   /// ends in (or begins from) a wide dependency.
   std::uint64_t shuffle_write_bytes = 0;
   std::uint64_t shuffle_read_bytes = 0;
+  /// Records moved through the shuffle (map-side, counted once).
+  std::uint64_t shuffle_records = 0;
   /// Time spent in (de)serialization for shuffle blocks.
   double serialization_seconds = 0.0;
   /// Wall time of the stage on the local pool.
@@ -62,6 +64,7 @@ class EngineMetrics {
   std::size_t stage_count() const { return stages_.size(); }
 
   std::uint64_t total_shuffle_bytes() const;
+  std::uint64_t total_shuffle_records() const;
   double total_serialization_seconds() const;
   double total_compute_seconds() const;
   double total_wall_seconds() const;

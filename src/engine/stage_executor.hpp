@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -49,11 +50,17 @@
 namespace gpf::engine {
 
 /// The slice of EngineConfig the executor needs (kept separate so this
-/// header does not depend on dataset.hpp).
+/// header does not depend on dataset.hpp).  Task attempts share the same
+/// RetryPolicy shape the net channels use; the engine defaults backoff to
+/// zero because an in-process retry has no transport to decongest.
 struct StageExecPolicy {
-  int max_retries = 2;
+  RetryPolicy retry{.max_attempts = 3, .backoff_initial_ms = 0,
+                    .backoff_max_ms = 0};
   bool speculation = true;
   double speculation_delay_threshold_ms = 20.0;
+
+  /// Retries after the first attempt (EngineConfig::max_task_retries).
+  int max_retries() const { return retry.retries(); }
 };
 
 namespace detail {
@@ -169,7 +176,7 @@ std::vector<U> execute_stage(ThreadPool& pool, const StageExecPolicy& policy,
           injected.fetch_add(1);
         } catch (...) {
         }
-        if (attempt >= policy.max_retries) {
+        if (attempt >= policy.max_retries()) {
           auto failure = std::make_exception_ptr(
               StageFailure(name, task_offset + i, attempt + 1,
                            detail::current_exception_message()));
@@ -180,6 +187,17 @@ std::vector<U> execute_stage(ThreadPool& pool, const StageExecPolicy& policy,
           return;
         }
         retried.fetch_add(1);
+        if (policy.retry.backoff_initial_ms > 0) {
+          // Backoff between attempts (off by default in-process; backends
+          // whose retries hit real transports opt in).
+          int backoff = policy.retry.backoff_initial_ms;
+          for (int past = 0; past < attempt; ++past) {
+            backoff = policy.retry.next_backoff(backoff);
+          }
+          detail::interruptible_sleep(backoff, [&] {
+            return abort.load() || claimed[i].load();
+          });
+        }
       }
     }
   };

@@ -1,0 +1,10 @@
+#include "exec/inprocess_backend.hpp"
+
+namespace gpf::exec {
+
+const std::string& InProcessBackend::name() const {
+  static const std::string kName = "inprocess";
+  return kName;
+}
+
+}  // namespace gpf::exec

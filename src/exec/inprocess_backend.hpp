@@ -1,0 +1,25 @@
+// The default execution backend: an owned Engine, shuffle blocks parked
+// in driver memory (null transport).  Behavior-identical to the
+// historical Pipeline(name, Engine&) path — it exists so callers can
+// select "inprocess" through the same BackendSpec/factory surface as the
+// spilling and distributed backends.
+#pragma once
+
+#include "core/backend.hpp"
+#include "engine/dataset.hpp"
+
+namespace gpf::exec {
+
+class InProcessBackend final : public core::ExecutionBackend {
+ public:
+  explicit InProcessBackend(engine::EngineConfig config = {})
+      : engine_(config) {}
+
+  const std::string& name() const override;
+  engine::Engine& engine() override { return engine_; }
+
+ private:
+  engine::Engine engine_;
+};
+
+}  // namespace gpf::exec

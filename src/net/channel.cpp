@@ -8,7 +8,8 @@ namespace gpf::net {
 
 Frame RetriableChannel::call(std::uint32_t type,
                              std::span<const std::uint8_t> payload) {
-  return call(type, payload, config_.call_timeout_ms, config_.max_attempts);
+  return call(type, payload, config_.call_timeout_ms,
+              config_.retry.max_attempts);
 }
 
 Frame RetriableChannel::call(std::uint32_t type,
@@ -17,11 +18,11 @@ Frame RetriableChannel::call(std::uint32_t type,
   std::lock_guard lock(mu_);
   const std::uint64_t request_id = next_request_id_++;
   std::string last_error;
-  int backoff_ms = config_.backoff_initial_ms;
+  int backoff_ms = config_.retry.backoff_initial_ms;
   for (int a = 0; a < std::max(1, max_attempts); ++a) {
     if (a > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+      backoff_ms = config_.retry.next_backoff(backoff_ms);
     }
     try {
       return attempt(type, payload, request_id, timeout_ms);

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/retry.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 
@@ -34,10 +35,8 @@ struct ChannelConfig {
   /// Per-attempt deadline for the response (tasks that legitimately run
   /// longer need a larger value; the loopback tests use seconds).
   int call_timeout_ms = 10000;
-  /// Total attempts per call (first try + retries).
-  int max_attempts = 3;
-  int backoff_initial_ms = 10;
-  int backoff_max_ms = 500;
+  /// Attempt count and backoff, shared with every other retrying layer.
+  RetryPolicy retry;
   FrameLimits limits;
 };
 

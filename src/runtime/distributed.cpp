@@ -119,7 +119,10 @@ std::vector<RecordPartition> distributed_shuffle(
     throw;
   }
   for (const auto& m : locations) {
-    for (const auto& b : m.blocks) stage.shuffle_write_bytes += b.bytes;
+    for (const auto& b : m.blocks) {
+      stage.shuffle_write_bytes += b.bytes;
+      stage.shuffle_records += b.records;
+    }
   }
   if (options.on_map_complete) options.on_map_complete();
 

@@ -131,6 +131,42 @@ std::vector<std::uint8_t> shuffle_reduce_task(WorkerContext& ctx,
   return reply.take();
 }
 
+/// pipeline_stage: deposit driver-pushed shuffle blocks for one map task
+/// of a lowered pipeline stage.  Payload: uvarint num_out, then per
+/// block u64 checksum, uvarint records, uvarint nbytes, raw bytes.
+/// Blocks are validated against their checksum on arrival and stored
+/// under BlockId{req.stage, req.task, b}; a re-push (map retry or
+/// driver-side lineage repair) overwrites with bit-identical bytes, so
+/// last-write-wins is correct.  Replies with u64 total bytes deposited.
+std::vector<std::uint8_t> pipeline_stage_task(WorkerContext& ctx,
+                                              const TaskRequest& req) {
+  ByteReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                             req.payload.size()));
+  const std::uint64_t num_out = r.uvarint();
+  std::uint64_t total_bytes = 0;
+  for (std::uint64_t b = 0; b < num_out; ++b) {
+    StoredBlock stored;
+    stored.checksum = r.u64();
+    stored.records = r.uvarint();
+    const std::uint64_t n = r.uvarint();
+    const auto bytes = r.raw(n);
+    auto owned = std::make_shared<std::vector<std::uint8_t>>(bytes.begin(),
+                                                             bytes.end());
+    if (engine::shuffle_block_checksum(std::span<const std::uint8_t>(
+            owned->data(), owned->size())) != stored.checksum) {
+      throw MissingBlockError(
+          req.task, "pushed block " + BlockId{req.stage, req.task, b}.key() +
+                        " corrupted in transit");
+    }
+    stored.bytes = std::move(owned);
+    total_bytes += n;
+    ctx.blocks.put(BlockId{req.stage, req.task, b}.key(), stored);
+  }
+  ByteWriter reply;
+  reply.u64(total_bytes);
+  return reply.take();
+}
+
 /// release_blocks: drop every block of the named shuffle's namespace from
 /// this worker's store (the driver broadcasts this once a shuffle
 /// succeeds, so completed jobs stop pinning worker memory).  Replies with
@@ -183,28 +219,16 @@ void register_builtin_tasks() {
   TaskRegistry& reg = TaskRegistry::global();
   reg.add("shuffle_map", shuffle_map_task);
   reg.add("shuffle_reduce", shuffle_reduce_task);
+  reg.add("pipeline_stage", pipeline_stage_task);
   reg.add("release_blocks", release_blocks_task);
   reg.add("sleep_echo", sleep_echo_task);
 }
 
-StoredBlock WorkerContext::fetch_block(std::uint16_t port,
-                                       const BlockId& id) const {
-  if (port == server.port()) {
-    auto local = blocks.get(id.key());
-    if (!local) {
-      throw MissingBlockError(id.map_task,
-                              "block " + id.key() + " not in local store");
-    }
-    return *local;
-  }
+StoredBlock fetch_block_over_wire(std::uint16_t port, const BlockId& id,
+                                  const net::ChannelConfig& config) {
   ByteWriter w;
   encode_block_id(w, id);
-  net::ChannelConfig cfg;
-  cfg.connect_timeout_ms = server.config().peer_timeout_ms;
-  cfg.call_timeout_ms = server.config().peer_timeout_ms;
-  cfg.max_attempts = 2;
-  cfg.limits = server.config().limits;
-  net::RetriableChannel peer("127.0.0.1", port, cfg);
+  net::RetriableChannel peer("127.0.0.1", port, config);
   net::Frame resp;
   try {
     resp = peer.call(kFetchBlock, std::span<const std::uint8_t>(
@@ -243,6 +267,24 @@ StoredBlock WorkerContext::fetch_block(std::uint16_t port,
   }
   block.bytes = std::move(owned);
   return block;
+}
+
+StoredBlock WorkerContext::fetch_block(std::uint16_t port,
+                                       const BlockId& id) const {
+  if (port == server.port()) {
+    auto local = blocks.get(id.key());
+    if (!local) {
+      throw MissingBlockError(id.map_task,
+                              "block " + id.key() + " not in local store");
+    }
+    return *local;
+  }
+  net::ChannelConfig cfg;
+  cfg.connect_timeout_ms = server.config().peer_timeout_ms;
+  cfg.call_timeout_ms = server.config().peer_timeout_ms;
+  cfg.retry.max_attempts = 2;
+  cfg.limits = server.config().limits;
+  return fetch_block_over_wire(port, id, cfg);
 }
 
 WorkerServer::WorkerServer(WorkerConfig config)

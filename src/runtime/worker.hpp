@@ -11,8 +11,9 @@
 // Task handlers are looked up in a process-global TaskRegistry by name:
 // C++ closures cannot cross a process boundary, so the driver names a
 // handler compiled into the worker binary and ships only data.  The
-// builtin handlers (shuffle_map / shuffle_reduce / sleep_echo) cover the
-// runtime's own needs; embedders register more.
+// builtin handlers (shuffle_map / shuffle_reduce / pipeline_stage /
+// release_blocks / sleep_echo) cover the runtime's own needs; embedders
+// register more.
 #pragma once
 
 #include <atomic>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "net/channel.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "runtime/block_store.hpp"
@@ -66,6 +68,15 @@ struct WorkerContext {
 using TaskHandler = std::function<std::vector<std::uint8_t>(
     WorkerContext&, const TaskRequest&)>;
 
+/// Fetches one block from the worker listening on loopback `port` over a
+/// fresh channel and validates it against its shipped checksum — the
+/// wire path shared by worker-side reduce tasks (WorkerContext::
+/// fetch_block) and the driver-side distributed shuffle transport.
+/// Throws MissingBlockError when the peer is unreachable, lacks the
+/// block, or the bytes fail their checksum.
+StoredBlock fetch_block_over_wire(std::uint16_t port, const BlockId& id,
+                                  const net::ChannelConfig& config);
+
 /// Process-global name -> handler table.
 class TaskRegistry {
  public:
@@ -79,8 +90,8 @@ class TaskRegistry {
   std::map<std::string, TaskHandler> handlers_;
 };
 
-/// Registers the builtin shuffle_map / shuffle_reduce / sleep_echo
-/// handlers (idempotent).
+/// Registers the builtin shuffle_map / shuffle_reduce / pipeline_stage /
+/// release_blocks / sleep_echo handlers (idempotent).
 void register_builtin_tasks();
 
 struct WorkerConfig {

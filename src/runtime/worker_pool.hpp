@@ -63,11 +63,11 @@ struct WorkerPoolConfig {
   /// Spawn handshake deadline (worker prints its ready line).
   int spawn_timeout_ms = 10000;
   net::ChannelConfig dispatch_channel{.call_timeout_ms = 30000,
-                                      .max_attempts = 2,
+                                      .retry = {.max_attempts = 2},
                                       .limits = {}};
   net::ChannelConfig control_channel{.connect_timeout_ms = 500,
                                      .call_timeout_ms = 300,
-                                     .max_attempts = 1,
+                                     .retry = {.max_attempts = 1},
                                      .limits = {}};
 };
 

@@ -306,9 +306,9 @@ TEST(Channel, ExhaustsRetriesAgainstDeadPort) {
   net::ChannelConfig cfg;
   cfg.connect_timeout_ms = 100;
   cfg.call_timeout_ms = 100;
-  cfg.max_attempts = 3;
-  cfg.backoff_initial_ms = 1;
-  cfg.backoff_max_ms = 5;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_initial_ms = 1;
+  cfg.retry.backoff_max_ms = 5;
   net::RetriableChannel chan("127.0.0.1", dead_port, cfg);
   EXPECT_THROW(chan.call(kPing, {}), net::ChannelError);
 }
