@@ -176,17 +176,19 @@ int cmd_call(int argc, char** argv) {
 // human-readable face of PipelineReport::ProcessTiming.
 void print_process_table(const core::PipelineReport& report) {
   std::printf("\nbackend: %s\n", report.backend.c_str());
-  std::printf("%-22s %8s %6s %10s %10s %9s %9s %8s %13s\n", "process", "wall",
-              "stages", "shuffle_w", "shuffle_r", "records", "spilled",
-              "lineage", "res h/m/e");
+  std::printf("%-22s %8s %6s %7s %7s %7s %10s %10s %9s %9s %8s %13s\n",
+              "process", "wall", "stages", "p50ms", "p95ms", "p99ms",
+              "shuffle_w", "shuffle_r", "records", "spilled", "lineage",
+              "res h/m/e");
   std::uint64_t shuffle_w = 0, shuffle_r = 0, spilled = 0;
   for (const auto& t : report.timings) {
     shuffle_w += t.shuffle_write_bytes;
     shuffle_r += t.shuffle_read_bytes;
     spilled += t.backend.bytes_spilled;
-    std::printf("%-22s %7.2fs %6zu %10llu %10llu %9llu %9llu %8llu "
-                "%4llu/%llu/%llu\n",
-                t.name.c_str(), t.wall_seconds, t.engine_stages,
+    std::printf("%-22s %7.2fs %6zu %7.2f %7.2f %7.2f %10llu %10llu %9llu "
+                "%9llu %8llu %4llu/%llu/%llu\n",
+                t.name.c_str(), t.wall_seconds, t.engine_stages, t.task_p50_ms,
+                t.task_p95_ms, t.task_p99_ms,
                 static_cast<unsigned long long>(t.shuffle_write_bytes),
                 static_cast<unsigned long long>(t.shuffle_read_bytes),
                 static_cast<unsigned long long>(t.shuffle_records),
@@ -198,17 +200,28 @@ void print_process_table(const core::PipelineReport& report) {
                 static_cast<unsigned long long>(
                     t.backend.residency_evictions));
   }
-  std::printf("%-22s %16s %10llu %10llu %19llu\n", "total", "",
+  std::printf("%-22s %40s %10llu %10llu %19llu\n", "total", "",
               static_cast<unsigned long long>(shuffle_w),
               static_cast<unsigned long long>(shuffle_r),
               static_cast<unsigned long long>(spilled));
 }
 
 int cmd_pipeline(int argc, char** argv, const exec::BackendSpec& spec) {
+  bool adaptive = false;
+  for (int i = 0; i < argc;) {
+    if (std::strcmp(argv[i], "--adaptive") == 0) {
+      adaptive = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else {
+      ++i;
+    }
+  }
   if (argc < 5) {
     std::fprintf(stderr,
                  "usage: gpf_tool pipeline <ref.fa> <r1> <r2> <known.vcf> "
-                 "<out.vcf> [--backend B] [--store-budget N] [--workers N]\n");
+                 "<out.vcf> [--backend B] [--store-budget N] [--workers N] "
+                 "[--adaptive]\n");
     return 2;
   }
   const Reference reference = core::load_fasta_file(argv[0]);
@@ -217,6 +230,7 @@ int cmd_pipeline(int argc, char** argv, const exec::BackendSpec& spec) {
   const std::unique_ptr<core::ExecutionBackend> backend =
       exec::make_backend(spec);
   core::PipelineConfig config;
+  config.adaptive_scheduling = adaptive;
   config.partition_length =
       std::max<std::int64_t>(10'000, static_cast<std::int64_t>(
                                          reference.total_length() / 16));

@@ -1,29 +1,41 @@
-// Fixed-size work-stealing-free thread pool used by the execution engine.
+// Fixed-size work-stealing thread pool used by the execution engine.
 //
-// The engine schedules whole partitions as tasks; tasks are coarse enough
-// that a single shared queue with a condition variable does not become a
-// bottleneck.  The pool is deliberately simple and allocation-light: it is
+// Each worker owns a deque: tasks submitted from a worker go to its own
+// deque and are popped LIFO (newest first, cache-hot); tasks submitted
+// from outside the pool are distributed round-robin.  An idle worker
+// steals FIFO from the other deques (oldest first), so a skewed stage —
+// one queue stacked with heavy tasks — drains across all cores instead of
+// serializing behind its owner.  The pool stays allocation-light: it is
 // the substrate every other module builds on, so predictability beats
 // cleverness here.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace gpf {
 
-/// A fixed-size pool of worker threads executing submitted tasks FIFO.
+/// A fixed-size pool of worker threads with per-worker deques and work
+/// stealing.  Tasks on one deque run newest-first for their owner and are
+/// stolen oldest-first by idle workers; there is no global FIFO order
+/// across deques (the engine never depends on submission order).
 ///
 /// Thread-safe: submit() may be called concurrently from any thread,
 /// including from inside a task (tasks must not block on tasks that cannot
 /// be scheduled, but the engine only submits leaf work so this cannot
 /// deadlock).
+///
+/// Setting GPF_FORCE_STEAL=1 in the environment (read at construction)
+/// makes every worker try to steal before touching its own deque —
+/// maximum cross-thread traffic, used by CI to stress the stealing path.
 class ThreadPool {
  public:
   /// Creates a pool with `threads` workers (defaults to hardware
@@ -44,11 +56,7 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    push_task([task] { (*task)(); });
     return fut;
   }
 
@@ -71,16 +79,38 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  /// One worker's deque.  A plain mutex per deque keeps the code obvious;
+  /// engine tasks are whole partitions (or record ranges), coarse enough
+  /// that the lock never sees real contention.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  /// Pops and runs one task (own deque LIFO, then steal FIFO); false when
+  /// every deque was empty.
+  bool try_run_one(std::size_t self);
+  /// Routes a task to a deque (own deque on workers, round-robin outside)
+  /// and wakes a sleeper.
+  void push_task(std::function<void()> task);
 
   /// The pool whose worker_loop the calling thread is running, if any.
   static ThreadPool*& current_pool();
+  /// The calling worker's index within current_pool() (0 outside).
+  static std::size_t& current_worker();
 
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  /// Tasks pushed but not yet taken, across all deques.  The release/
+  /// acquire pairing with sleep_mu_ is what makes the sleep path lossless.
+  std::atomic<std::size_t> pending_{0};
+  /// Round-robin cursor for external submissions.
+  std::atomic<std::size_t> next_queue_{0};
+  std::mutex sleep_mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ = false;  // guarded by sleep_mu_
+  bool force_steal_ = false;
 };
 
 }  // namespace gpf

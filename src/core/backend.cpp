@@ -1,10 +1,14 @@
 #include "core/backend.hpp"
 
+#include <cmath>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
+#include "common/histogram.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "sched/scheduler.hpp"
 
 namespace gpf::core {
 
@@ -30,6 +34,7 @@ std::string PhysicalPlan::describe() const {
     if (s.wide) out += ",wide";
     if (s.fused_into_chain) out += ",fused";
     if (s.emits_bundle) out += ",bundle>";
+    if (s.adaptive) out += ",adaptive";
     out += ']';
   }
   return out;
@@ -82,6 +87,7 @@ PhysicalPlan build_physical_plan(
       s.wave = wave;
       s.fused_into_chain = p->bundle_source() != nullptr;
       s.emits_bundle = p->emit_bundle();
+      s.adaptive = config.adaptive_scheduling;
       // A fused stage consumes its upstream's bundle in place; its own
       // wide boundary was what the Fig-7 pass eliminated.
       s.wide = p->has_wide_dependency() && !s.fused_into_chain;
@@ -134,6 +140,15 @@ void ExecutionBackend::execute(const PhysicalPlan& plan, PipelineContext& ctx,
                                PipelineReport& report) {
   report.backend = name();
   ctx.set_backend(this);
+  // The adaptive scheduler is a plan-scoped engine seam, like the shuffle
+  // transport: installed here so every backend inherits identical adaptive
+  // behavior.  A scheduler the caller attached beforehand is respected
+  // (and kept after the run).
+  const bool install_scheduler =
+      plan.config().adaptive_scheduling && engine().scheduler() == nullptr;
+  if (install_scheduler) {
+    engine().set_scheduler(std::make_shared<sched::AdaptiveScheduler>());
+  }
   begin_plan(plan);
   Timer total;
   try {
@@ -150,20 +165,31 @@ void ExecutionBackend::execute(const PhysicalPlan& plan, PipelineContext& ctx,
       t.wall_seconds = s.process->wall_seconds();
       const auto& stages = engine().metrics().stages();
       t.engine_stages = stages.size() - stages_before;
+      Histogram task_ms100;
       for (std::size_t k = stages_before; k < stages.size(); ++k) {
         t.shuffle_write_bytes += stages[k].shuffle_write_bytes;
         t.shuffle_read_bytes += stages[k].shuffle_read_bytes;
         t.shuffle_records += stages[k].shuffle_records;
+        for (const double sec : stages[k].task_seconds) {
+          task_ms100.add(std::llround(sec * 1e5));
+        }
+      }
+      if (!task_ms100.empty()) {
+        t.task_p50_ms = static_cast<double>(task_ms100.percentile(0.50)) / 100.0;
+        t.task_p95_ms = static_cast<double>(task_ms100.percentile(0.95)) / 100.0;
+        t.task_p99_ms = static_cast<double>(task_ms100.percentile(0.99)) / 100.0;
       }
       t.backend = diff_counters(before, counters());
       report.timings.push_back(std::move(t));
     }
   } catch (...) {
     end_plan(plan);
+    if (install_scheduler) engine().set_scheduler(nullptr);
     report.total_wall_seconds = total.seconds();
     throw;
   }
   end_plan(plan);
+  if (install_scheduler) engine().set_scheduler(nullptr);
   report.total_wall_seconds = total.seconds();
 }
 

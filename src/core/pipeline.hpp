@@ -50,6 +50,11 @@ struct PipelineReport {
     std::uint64_t shuffle_write_bytes = 0;
     std::uint64_t shuffle_read_bytes = 0;
     std::uint64_t shuffle_records = 0;
+    /// Task-time percentiles across all engine tasks this Process ran
+    /// (10 µs resolution; 0 when the Process ran no engine stages).
+    double task_p50_ms = 0.0;
+    double task_p95_ms = 0.0;
+    double task_p99_ms = 0.0;
     /// Backend-side work (spill/fetch/residency) during this Process.
     BackendStageStats backend;
   };

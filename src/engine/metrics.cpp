@@ -1,7 +1,10 @@
 #include "engine/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+
+#include "common/histogram.hpp"
 
 namespace gpf::engine {
 
@@ -12,6 +15,18 @@ double StageMetrics::total_compute_seconds() const {
 double StageMetrics::max_task_seconds() const {
   if (task_seconds.empty()) return 0.0;
   return *std::max_element(task_seconds.begin(), task_seconds.end());
+}
+
+void StageMetrics::finalize_task_stats() {
+  if (task_seconds.empty()) {
+    task_p50_ms = task_p95_ms = task_p99_ms = 0.0;
+    return;
+  }
+  Histogram h;
+  for (const double s : task_seconds) h.add(std::llround(s * 1e5));
+  task_p50_ms = static_cast<double>(h.percentile(0.50)) / 100.0;
+  task_p95_ms = static_cast<double>(h.percentile(0.95)) / 100.0;
+  task_p99_ms = static_cast<double>(h.percentile(0.99)) / 100.0;
 }
 
 std::size_t EngineMetrics::add_stage(StageMetrics stage) {

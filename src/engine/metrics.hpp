@@ -48,9 +48,20 @@ struct StageMetrics {
   /// True when the stage aborted after a task exhausted its retry budget
   /// (the stage is still recorded so chaos runs can audit the wreckage).
   bool failed = false;
+  /// Task-time percentiles over task_seconds, filled by
+  /// finalize_task_stats() when the stage is recorded.
+  double task_p50_ms = 0.0;
+  double task_p95_ms = 0.0;
+  double task_p99_ms = 0.0;
+  /// Adaptive-repartition counters: input partitions the scheduler split
+  /// into finer tasks, and micro-partitions it coalesced into one task.
+  std::size_t adaptive_splits = 0;
+  std::size_t adaptive_merges = 0;
 
   double total_compute_seconds() const;
   double max_task_seconds() const;
+  /// Computes task_p50/p95/p99_ms from task_seconds (10 µs resolution).
+  void finalize_task_stats();
 };
 
 /// Accumulates stages for one logical job; thread-safe for the per-task

@@ -1,0 +1,113 @@
+#include "sched/repartition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/lpt.hpp"
+
+namespace gpf::sched {
+
+namespace {
+
+/// A span plus its predicted cost, kept in (partition, begin) order.
+struct CostedSpan {
+  TaskSpan span;
+  double cost = 0.0;
+};
+
+}  // namespace
+
+StagePlan plan_stage(const RepartitionPolicy& policy,
+                     std::span<const double> costs,
+                     std::span<const std::size_t> records, std::size_t slots,
+                     bool splittable, double task_overhead_seconds) {
+  StagePlan plan;
+  const std::size_t n = std::min(costs.size(), records.size());
+  if (n == 0 || slots <= 1) return plan;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += costs[i];
+  if (total <= 0.0) return plan;
+  const double mean = total / static_cast<double>(n);
+
+  // Pass 1 — split: a partition predicted past split_ratio × mean becomes
+  // ~mean-cost contiguous ranges (remainder records spread to the front so
+  // piece sizes differ by at most one).
+  std::vector<CostedSpan> spans;
+  spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t pieces = 1;
+    if (splittable && records[i] >= 2 && costs[i] > policy.split_ratio * mean) {
+      pieces = static_cast<std::size_t>(std::ceil(costs[i] / mean));
+      pieces = std::min({pieces, policy.max_splits, records[i]});
+    }
+    if (pieces > 1) ++plan.partitions_split;
+    const std::size_t base = records[i] / pieces;
+    const std::size_t extra = records[i] % pieces;
+    std::size_t at = 0;
+    for (std::size_t k = 0; k < pieces; ++k) {
+      const std::size_t len = base + (k < extra ? 1 : 0);
+      CostedSpan s;
+      s.span = {i, at, at + len};
+      s.cost = records[i] == 0
+                   ? costs[i]
+                   : costs[i] * static_cast<double>(len) /
+                         static_cast<double>(records[i]);
+      spans.push_back(s);
+      at += len;
+    }
+  }
+
+  // Pass 2 — merge: bundle runs of micro-spans up to the target task cost,
+  // never dropping below min_tasks runnable tasks.  The target granularity
+  // is the fair share of 2× the slot count, floored at the point where
+  // per-task overhead stops paying off.
+  const std::size_t min_tasks =
+      std::min(spans.size(), policy.min_tasks_per_slot * slots);
+  const double target = std::max(
+      total / static_cast<double>(policy.min_tasks_per_slot * slots),
+      policy.merge_overhead_factor * task_overhead_seconds);
+  const double tiny = policy.merge_fraction * target;
+  bool open = false;  // last task still accepting micro-spans
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    const std::size_t remaining = spans.size() - s - 1;
+    StageTask* last = plan.tasks.empty() ? nullptr : &plan.tasks.back();
+    if (last != nullptr && open && spans[s].cost < tiny &&
+        last->predicted_seconds + spans[s].cost <= target &&
+        plan.tasks.size() + remaining >= min_tasks) {
+      last->spans.push_back(spans[s].span);
+      last->predicted_seconds += spans[s].cost;
+      continue;
+    }
+    StageTask task;
+    task.spans.push_back(spans[s].span);
+    task.predicted_seconds = spans[s].cost;
+    plan.tasks.push_back(std::move(task));
+    open = spans[s].cost < tiny;
+  }
+  for (const auto& t : plan.tasks) {
+    if (t.spans.size() > 1) ++plan.tasks_merged;
+  }
+
+  // Adoption: compare LPT-predicted makespans, overhead included.  The
+  // per-record cost scalar cancels out of every ratio above, so the layout
+  // is deterministic; the makespan comparison additionally weighs overhead
+  // so a rewrite must earn its extra (or save its former) task count.
+  std::vector<double> static_costs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    static_costs[i] = costs[i] + task_overhead_seconds;
+  }
+  std::vector<double> adaptive_costs;
+  adaptive_costs.reserve(plan.tasks.size());
+  for (const auto& t : plan.tasks) {
+    adaptive_costs.push_back(t.predicted_seconds + task_overhead_seconds);
+  }
+  plan.static_makespan = lpt_makespan(static_costs, slots);
+  plan.adaptive_makespan = lpt_makespan(adaptive_costs, slots);
+  plan.adopted =
+      (plan.partitions_split > 0 || plan.tasks_merged > 0) &&
+      plan.adaptive_makespan < plan.static_makespan * (1.0 - policy.min_gain);
+  return plan;
+}
+
+}  // namespace gpf::sched

@@ -1,0 +1,92 @@
+// Skew-aware adaptive repartitioning: the deterministic plan rewrite that
+// turns a stage's per-partition task layout into a balanced one.
+//
+// Given predicted per-partition costs, plan_stage() splits partitions
+// predicted to exceed `split_ratio`× the mean task time into contiguous
+// record ranges, and bundles micro-partitions whose predicted cost is
+// below a floor into shared tasks.  The output is a list of tasks, each
+// covering one or more ordered record spans; spans tile every partition
+// exactly, in (partition, begin) order, so executing the plan and
+// concatenating each partition's span outputs in order reproduces the
+// static per-partition output bit for bit.
+//
+// The plan is a pure function of (policy, costs, records, slots): no
+// clocks, no randomness — the same inputs give the same layout on every
+// backend and every run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpf::sched {
+
+/// A contiguous record range [begin, end) within one input partition.
+struct TaskSpan {
+  std::size_t partition = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t records() const { return end - begin; }
+};
+
+/// One schedulable task: ordered spans plus the planner's cost estimate.
+struct StageTask {
+  std::vector<TaskSpan> spans;
+  double predicted_seconds = 0.0;
+
+  std::size_t records() const {
+    std::size_t n = 0;
+    for (const auto& s : spans) n += s.records();
+    return n;
+  }
+};
+
+/// The rewritten task layout for one stage.  When `adopted` is false the
+/// caller must run the static per-partition path (the rewrite either
+/// changed nothing or did not beat the static makespan by `min_gain`).
+struct StagePlan {
+  std::vector<StageTask> tasks;
+  bool adopted = false;
+  /// Partitions split into more than one span.
+  std::size_t partitions_split = 0;
+  /// Tasks bundling more than one span.
+  std::size_t tasks_merged = 0;
+  /// LPT-predicted makespans the adoption decision compared.
+  double static_makespan = 0.0;
+  double adaptive_makespan = 0.0;
+};
+
+/// Knobs for the rewrite.
+struct RepartitionPolicy {
+  /// Split partitions predicted to exceed this multiple of the mean
+  /// per-partition cost (the paper's ~2× straggler criterion).
+  double split_ratio = 2.0;
+  /// Hard cap on the pieces one partition may split into.
+  std::size_t max_splits = 16;
+  /// Spans below merge_fraction × the target task cost are micro-tasks
+  /// eligible for bundling.
+  double merge_fraction = 0.25;
+  /// The target task cost is at least this multiple of the per-task
+  /// overhead — bundling stops paying off below it.
+  double merge_overhead_factor = 4.0;
+  /// Never merge below this multiple of the slot count (keeps enough
+  /// tasks in flight for work stealing and speculation to matter).
+  std::size_t min_tasks_per_slot = 2;
+  /// Adopt the rewrite only when its predicted makespan beats the static
+  /// one by at least this fraction.
+  double min_gain = 0.05;
+};
+
+/// Rewrites one stage's layout.  `costs` and `records` are parallel
+/// per-partition arrays (predicted seconds, record counts); `slots` is
+/// the executor's parallelism; `splittable` is false for stages whose
+/// task function consumes whole partitions (they may only be merged,
+/// never split).  `task_overhead_seconds` is the fixed per-task cost used
+/// in both makespans.
+StagePlan plan_stage(const RepartitionPolicy& policy,
+                     std::span<const double> costs,
+                     std::span<const std::size_t> records, std::size_t slots,
+                     bool splittable, double task_overhead_seconds);
+
+}  // namespace gpf::sched

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sched/lpt.hpp"
+
 namespace gpf::sim {
 namespace {
 
@@ -41,38 +43,19 @@ TaskCost task_cost(const SimTask& task, const ClusterConfig& cluster) {
 
 /// Schedules one stage's tasks LPT onto `cores` slots starting at time
 /// `start`; returns the stage end time and optionally records per-task
-/// intervals via `on_task(idx, start, duration, slot)`.
+/// intervals via `on_task(idx, start, duration, slot)`.  The LPT heap
+/// itself is shared with the engine's adaptive planner (sched/lpt.hpp).
 template <typename OnTask>
 double schedule_stage(const std::vector<TaskCost>& costs, std::size_t cores,
                       double start, bool with_disk, bool with_net,
                       OnTask&& on_task) {
-  if (costs.empty()) return start;
-  // LPT: process longest tasks first for a tight makespan bound.
-  std::vector<std::size_t> order(costs.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return costs[a].total(with_disk, with_net) >
-                            costs[b].total(with_disk, with_net);
-                   });
-  // Min-heap of (free time, slot id); slot ids keep ties deterministic
-  // and give timeline exports a stable per-core track.
-  std::priority_queue<std::pair<double, std::size_t>,
-                      std::vector<std::pair<double, std::size_t>>,
-                      std::greater<>>
-      free_at;
-  const std::size_t slots = std::min(cores, costs.size());
-  for (std::size_t i = 0; i < slots; ++i) free_at.emplace(start, i);
-  double end = start;
-  for (const std::size_t idx : order) {
-    const auto [t0, slot] = free_at.top();
-    free_at.pop();
-    const double dur = costs[idx].total(with_disk, with_net);
-    on_task(idx, t0, dur, slot);
-    free_at.emplace(t0 + dur, slot);
-    end = std::max(end, t0 + dur);
+  std::vector<double> totals;
+  totals.reserve(costs.size());
+  for (const TaskCost& c : costs) {
+    totals.push_back(c.total(with_disk, with_net));
   }
-  return end;
+  return sched::lpt_schedule(totals, cores, start,
+                             std::forward<OnTask>(on_task));
 }
 
 SimResult simulate_impl(const SimJob& job, const ClusterConfig& cluster,
